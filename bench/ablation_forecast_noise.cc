@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation — forecast quality. The paper assumes perfect
+ * carbon-intensity forecasts (citing their demonstrated accuracy);
+ * this ablation injects multiplicative forecast error into the CIS
+ * and measures how much of each policy's carbon savings survives.
+ * Accounting always uses the true trace.
+ */
+
+#include "bench_common.h"
+
+#include "analysis/harness.h"
+#include "common/table.h"
+#include "trace/region_model.h"
+#include "workload/generators.h"
+
+using namespace gaia;
+
+int
+main()
+{
+    bench::banner("Ablation",
+                  "forecast noise sensitivity (week-long "
+                  "Alibaba-PAI, SA-AU)");
+
+    const JobTrace trace = makeWeekTrace(1);
+    const CarbonTrace carbon = makeRegionTrace(
+        Region::SouthAustralia, bench::weekSlots(), 1);
+    const QueueConfig queues = calibratedQueues(trace);
+
+    const CarbonInfoService truth(carbon);
+    const SimulationResult nowait =
+        runPolicy("NoWait", trace, queues, truth);
+
+    TextTable table("Carbon savings vs forecast error",
+                    {"noise sigma", "Lowest-Window", "Carbon-Time",
+                     "Wait-Awhile"});
+    auto csv = bench::openCsv(
+        "ablation_forecast_noise",
+        {"noise", "lw_savings", "ct_savings", "wa_savings"});
+    for (double noise : {0.0, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+        const CarbonInfoService cis(carbon, noise, 1234);
+        std::vector<double> savings;
+        for (const char *policy :
+             {"Lowest-Window", "Carbon-Time", "Wait-Awhile"}) {
+            const SimulationResult r =
+                runPolicy(policy, trace, queues, cis);
+            savings.push_back(1.0 -
+                              r.carbon_kg / nowait.carbon_kg);
+        }
+        table.addRow(fmt(noise, 2), savings);
+        csv.writeRow({fmt(noise, 2), fmt(savings[0], 4),
+                      fmt(savings[1], 4), fmt(savings[2], 4)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpectation: savings degrade smoothly with "
+                 "forecast error and remain positive even at "
+                 "sigma = 0.5, supporting the paper's "
+                 "perfect-forecast simplification.\n";
+    return 0;
+}

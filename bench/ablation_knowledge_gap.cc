@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation — decomposing the Wait-Awhile vs Lowest-Window gap.
+ *
+ * Figure 13 shows Lowest-Window retaining only part of Wait
+ * Awhile's savings (68% on Mustang, 44% on Azure) and §6.4.1
+ * attributes the difference to Wait Awhile's two extra powers:
+ * exact length knowledge and suspend-resume execution. The
+ * Lowest-Window-Oracle policy (exact length, still contiguous)
+ * isolates the two:
+ *
+ *   Lowest-Window  →  +exact length  →  Lowest-Window-Oracle
+ *   Lowest-Window-Oracle  →  +suspension  →  Wait-Awhile
+ */
+
+#include "bench_common.h"
+
+#include "analysis/harness.h"
+#include "analysis/parallel.h"
+#include "common/table.h"
+#include "core/policies.h"
+#include "trace/region_model.h"
+#include "workload/generators.h"
+
+using namespace gaia;
+
+int
+main()
+{
+    bench::banner("Ablation",
+                  "length knowledge vs suspension (year traces, "
+                  "CA-US)");
+
+    const CarbonTrace carbon = makeRegionTrace(
+        Region::CaliforniaUS, bench::yearSlots(), 1);
+    const CarbonInfoService cis(carbon);
+
+    TextTable table(
+        "Carbon savings vs NoWait, stepwise capabilities",
+        {"trace", "Lowest-Window (J_avg)", "+exact length",
+         "+suspension (Wait-Awhile)"});
+    auto csv = bench::openCsv(
+        "ablation_knowledge_gap",
+        {"trace", "lw_savings", "oracle_savings", "wa_savings"});
+
+    for (WorkloadSource source :
+         {WorkloadSource::MustangHpc, WorkloadSource::AlibabaPai,
+          WorkloadSource::AzureVm}) {
+        const JobTrace trace = makeYearTrace(source, 1);
+        const QueueConfig queues = calibratedQueues(trace);
+
+        const LowestWindowPolicy lw;
+        const LowestWindowPolicy oracle(0, true);
+        const WaitAwhilePolicy wa;
+        const NoWaitPolicy nowait;
+
+        std::vector<const SchedulingPolicy *> policies = {
+            &nowait, &lw, &oracle, &wa};
+        std::vector<double> carbon_kg(policies.size());
+        parallelFor(policies.size(), [&](std::size_t i) {
+            carbon_kg[i] =
+                simulate(trace, *policies[i], queues, cis)
+                    .carbon_kg;
+        });
+
+        const auto saving = [&](std::size_t i) {
+            return 1.0 - carbon_kg[i] / carbon_kg[0];
+        };
+        table.addRow(workloadName(source),
+                     {saving(1), saving(2), saving(3)});
+        csv.writeRow({workloadName(source), fmt(saving(1), 4),
+                      fmt(saving(2), 4), fmt(saving(3), 4)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nExpectation: on Mustang (representative J_avg) the "
+           "oracle adds little — the gap is mostly suspension; on "
+           "Azure (highly variable lengths) exact knowledge closes "
+           "much of the gap by itself, matching the paper's "
+           "explanation of the retention difference.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction binaries: a results
+ * directory for CSV output, standard trace/region constructors, and
+ * small formatting helpers. Each bench prints the paper's
+ * rows/series as aligned tables and mirrors them into
+ * bench_results/<name>.csv for external plotting.
+ */
+
+#ifndef GAIA_BENCH_BENCH_COMMON_H
+#define GAIA_BENCH_BENCH_COMMON_H
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/strings.h"
+#include "common/time.h"
+
+namespace gaia::bench {
+
+/** Directory for CSV mirrors (override with GAIA_RESULTS_DIR). */
+inline std::string
+resultsDir()
+{
+    const char *env = std::getenv("GAIA_RESULTS_DIR");
+    const std::string dir = env ? env : "bench_results";
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** Open a CSV mirror for one experiment output. */
+inline CsvWriter
+openCsv(const std::string &name, std::vector<std::string> header)
+{
+    return CsvWriter(resultsDir() + "/" + name + ".csv",
+                     std::move(header));
+}
+
+/** Banner naming the paper artifact being regenerated. */
+inline void
+banner(const std::string &figure, const std::string &description)
+{
+    std::cout << "\n########################################"
+                 "########################\n"
+              << "# " << figure << ": " << description << "\n"
+              << "########################################"
+                 "########################\n";
+}
+
+/** Hourly slot count for a year-long run plus scheduling margin. */
+inline std::size_t
+yearSlots()
+{
+    return static_cast<std::size_t>(kHoursPerYear) + 24 * 8;
+}
+
+/** Hourly slot count for a week-long run plus margin. */
+inline std::size_t
+weekSlots()
+{
+    return 24 * (7 + 6);
+}
+
+} // namespace gaia::bench
+
+#endif // GAIA_BENCH_BENCH_COMMON_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Extension — pricing carbon (§7 discussion). A carbon tax or
+ * mandatory offset folds the three-way trade-off into plain cost:
+ * this bench sweeps the carbon price and reports each policy's
+ * tax-inclusive effective cost, plus the break-even price at which
+ * each carbon-aware policy becomes outright cheaper than NoWait.
+ * For context: the EU ETS traded around $80-100/t in the paper's
+ * timeframe; the US has no federal price.
+ */
+
+#include "bench_common.h"
+
+#include "analysis/carbon_tax.h"
+#include "analysis/harness.h"
+#include "common/table.h"
+#include "trace/region_model.h"
+#include "workload/generators.h"
+
+using namespace gaia;
+
+int
+main()
+{
+    bench::banner("Extension",
+                  "carbon tax folds the trade-off into cost "
+                  "(week-long Alibaba-PAI, SA-AU)");
+
+    const JobTrace trace = makeWeekTrace(1);
+    const CarbonTrace carbon = makeRegionTrace(
+        Region::SouthAustralia, bench::weekSlots(), 1);
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = calibratedQueues(trace);
+
+    const std::vector<std::string> policies = {
+        "NoWait", "Lowest-Window", "Carbon-Time", "Wait-Awhile"};
+    std::vector<SimulationResult> results;
+    for (const std::string &p : policies)
+        results.push_back(runPolicy(p, trace, queues, cis));
+
+    const std::vector<double> prices = {0,   25,  50,   100,
+                                        200, 500, 1000};
+    TextTable table("Effective cost ($) vs carbon price ($/t)",
+                    {"policy", "$0", "$25", "$50", "$100", "$200",
+                     "$500", "$1000"});
+    auto csv = bench::openCsv(
+        "ext_carbon_tax",
+        {"policy", "carbon_price", "effective_cost"});
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        std::vector<double> row;
+        for (double price : prices) {
+            row.push_back(effectiveCost(results[i], price));
+            csv.writeRow({policies[i], fmt(price, 0),
+                          fmt(row.back(), 4)});
+        }
+        table.addRow(policies[i], row, 2);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nBreak-even carbon price vs NoWait:\n";
+    for (std::size_t i = 1; i < policies.size(); ++i) {
+        const double price =
+            breakEvenCarbonPrice(results[i], results[0]);
+        std::cout << "  " << policies[i] << ": $" << fmt(price, 0)
+                  << "/t\n";
+    }
+    std::cout
+        << "\nNote: in this on-demand-only setting delaying jobs "
+           "does not change the cloud bill, so carbon-aware "
+           "policies already win at any positive carbon price; "
+           "re-run with reserved capacity (Figure 10's setup) and "
+           "the break-even becomes a real threshold. The paper's "
+           "point stands either way: without providers exposing a "
+           "carbon price in the bill, users face the raw "
+           "three-way trade-off.\n";
+
+    // The hybrid variant: 9 reserved instances make carbon-aware
+    // scheduling genuinely more expensive, so a finite break-even
+    // price appears.
+    ClusterConfig cluster;
+    cluster.reserved_cores = 9;
+    const SimulationResult nowait_hybrid = runPolicy(
+        "NoWait", trace, queues, cis, cluster,
+        ResourceStrategy::HybridGreedy);
+    const SimulationResult ct_hybrid = runPolicy(
+        "Carbon-Time", trace, queues, cis, cluster,
+        ResourceStrategy::HybridGreedy);
+    const SimulationResult res_ct_hybrid = runPolicy(
+        "Carbon-Time", trace, queues, cis, cluster,
+        ResourceStrategy::ReservedFirst);
+    std::cout << "\nHybrid cluster (R=9) break-even vs NoWait:\n"
+              << "  Carbon-Time (greedy):    $"
+              << fmt(breakEvenCarbonPrice(ct_hybrid,
+                                          nowait_hybrid),
+                     0)
+              << "/t\n"
+              << "  RES-First-Carbon-Time:   $"
+              << fmt(breakEvenCarbonPrice(res_ct_hybrid,
+                                          nowait_hybrid),
+                     0)
+              << "/t\n"
+              << "Expectation: the work-conserving variant needs a "
+                 "far smaller carbon price to pay off — GAIA's "
+                 "policies shrink the tax needed to make green "
+                 "scheduling rational.\n";
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Figure 14 — Carbon saved per waiting hour for different maximum
+ * waiting times (year-long Alibaba-PAI, South Australia):
+ * (a) sweep W_short with W_long = 24 h; (b) sweep W_long with
+ * W_short = 6 h.
+ *
+ * Shape targets (paper §6.4.2): extending W_short lowers the
+ * savings-per-wait yield; extending W_long helps up to a knee
+ * (~12 h) and then shows diminishing returns; Carbon-Time always
+ * yields more savings per waiting hour than Lowest-Window while
+ * retaining 80-90% of its savings.
+ */
+
+#include "bench_common.h"
+
+#include "analysis/harness.h"
+#include "analysis/parallel.h"
+#include "analysis/savings.h"
+#include "common/table.h"
+#include "trace/region_model.h"
+#include "workload/generators.h"
+
+using namespace gaia;
+
+namespace {
+
+struct Point
+{
+    Seconds w_short;
+    Seconds w_long;
+};
+
+void
+sweep(const std::string &title, const std::string &csv_name,
+      const JobTrace &trace, const CarbonInfoService &cis,
+      const std::vector<Point> &points, bool label_short)
+{
+    const std::vector<std::string> policies = {"Lowest-Window",
+                                               "Carbon-Time"};
+    struct Cell
+    {
+        double ratio[2];
+        double saved[2];
+        double wait[2];
+    };
+    std::vector<Cell> cells(points.size());
+
+    // NoWait is W-independent; compute once.
+    const QueueConfig base_queues = calibratedQueues(trace);
+    const SimulationResult nowait =
+        runPolicy("NoWait", trace, base_queues, cis);
+
+    parallelFor(points.size() * policies.size(),
+                [&](std::size_t k) {
+                    const std::size_t i = k / policies.size();
+                    const std::size_t p = k % policies.size();
+                    const QueueConfig queues = calibratedQueues(
+                        trace, points[i].w_short,
+                        points[i].w_long);
+                    const SimulationResult r = runPolicy(
+                        policies[p], trace, queues, cis);
+                    const double saved =
+                        nowait.carbon_kg - r.carbon_kg;
+                    const double wait = r.meanWaitingHours();
+                    cells[i].saved[p] = saved;
+                    cells[i].wait[p] = wait;
+                    cells[i].ratio[p] =
+                        wait > 0.0 ? saved / wait : 0.0;
+                });
+
+    TextTable table(title, {"W (h)", "LW kg/wait-h", "CT kg/wait-h",
+                            "LW saved kg", "CT saved kg"});
+    auto csv = bench::openCsv(
+        csv_name, {"w_hours", "lw_ratio", "ct_ratio", "lw_saved_kg",
+                   "ct_saved_kg", "lw_wait_h", "ct_wait_h"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Seconds w = label_short ? points[i].w_short
+                                      : points[i].w_long;
+        table.addRow(fmt(toHours(w), 0),
+                     {cells[i].ratio[0], cells[i].ratio[1],
+                      cells[i].saved[0], cells[i].saved[1]});
+        csv.writeRow({fmt(toHours(w), 1), fmt(cells[i].ratio[0], 4),
+                      fmt(cells[i].ratio[1], 4),
+                      fmt(cells[i].saved[0], 4),
+                      fmt(cells[i].saved[1], 4),
+                      fmt(cells[i].wait[0], 4),
+                      fmt(cells[i].wait[1], 4)});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 14",
+                  "saved carbon per waiting hour vs waiting-time "
+                  "limits (year-long Alibaba-PAI, SA-AU)");
+
+    const JobTrace trace =
+        makeYearTrace(WorkloadSource::AlibabaPai, 1);
+    const CarbonTrace carbon = makeRegionTrace(
+        Region::SouthAustralia, bench::yearSlots(), 1);
+    const CarbonInfoService cis(carbon);
+
+    std::vector<Point> a;
+    for (Seconds w : {hours(1), hours(3), hours(6), hours(12),
+                      hours(18), hours(24)})
+        a.push_back({w, hours(24)});
+    sweep("(a) W_short sweep, W_long = 24 h",
+          "fig14a_wshort_sweep", trace, cis, a,
+          /*label_short=*/true);
+
+    std::vector<Point> b;
+    for (Seconds w : {hours(6), hours(12), hours(24), hours(36),
+                      hours(48), hours(72), hours(84)})
+        b.push_back({hours(6), w});
+    sweep("(b) W_long sweep, W_short = 6 h",
+          "fig14b_wlong_sweep", trace, cis, b,
+          /*label_short=*/false);
+
+    std::cout << "\nShape targets: per-hour yield falls as W_short "
+                 "grows; W_long shows a knee with diminishing "
+                 "returns past ~12-24 h; Carbon-Time beats "
+                 "Lowest-Window on savings-per-wait everywhere.\n";
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 18 — Spot-First cost and carbon versus the spot length
+ * bound J^max for several eviction rates (Azure-VM year trace,
+ * South Australia), normalized to NoWait on-demand execution.
+ *
+ * Shape targets (paper §6.4.5): with no evictions, widening J^max
+ * strictly lowers cost at unchanged carbon; with evictions, cost
+ * benefits flatten or reverse (at 15%/h, beyond ~6 h there are no
+ * further cost savings) while carbon strictly degrades (up to
+ * ~+12%).
+ */
+
+#include "bench_common.h"
+
+#include "analysis/harness.h"
+#include "analysis/parallel.h"
+#include "common/table.h"
+#include "trace/region_model.h"
+#include "workload/generators.h"
+
+using namespace gaia;
+
+int
+main()
+{
+    bench::banner("Figure 18",
+                  "Spot-First J^max sweep across eviction rates "
+                  "(Azure-VM year, SA-AU)");
+
+    const JobTrace trace = makeYearTrace(WorkloadSource::AzureVm, 1);
+    const CarbonTrace carbon = makeRegionTrace(
+        Region::SouthAustralia, bench::yearSlots(), 1);
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = calibratedQueues(trace);
+
+    const SimulationResult baseline =
+        runPolicy("NoWait", trace, queues, cis);
+
+    const std::vector<double> rates = {0.0, 0.05, 0.10, 0.15};
+    const std::vector<Seconds> bounds = {
+        hours(2), hours(6), hours(12), hours(18), hours(24)};
+
+    std::vector<SimulationResult> results(rates.size() *
+                                          bounds.size());
+    parallelFor(results.size(), [&](std::size_t k) {
+        const std::size_t ri = k / bounds.size();
+        const std::size_t bi = k % bounds.size();
+        ClusterConfig cluster;
+        cluster.spot_eviction_rate = rates[ri];
+        cluster.spot_max_length = bounds[bi];
+        results[k] =
+            runPolicy("Carbon-Time", trace, queues, cis, cluster,
+                      ResourceStrategy::SpotFirst);
+    });
+
+    TextTable cost_table(
+        "(a) Cost normalized to NoWait on-demand",
+        {"J^max (h)", "q=0%", "q=5%", "q=10%", "q=15%"});
+    TextTable carbon_table(
+        "(b) Carbon normalized to NoWait on-demand",
+        {"J^max (h)", "q=0%", "q=5%", "q=10%", "q=15%"});
+    auto csv = bench::openCsv(
+        "fig18_spot_eviction",
+        {"jmax_hours", "eviction_rate", "norm_cost", "norm_carbon",
+         "evictions"});
+    for (std::size_t bi = 0; bi < bounds.size(); ++bi) {
+        std::vector<double> cost_row, carbon_row;
+        for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+            const SimulationResult &r =
+                results[ri * bounds.size() + bi];
+            cost_row.push_back(r.totalCost() /
+                               baseline.totalCost());
+            carbon_row.push_back(r.carbon_kg /
+                                 baseline.carbon_kg);
+            csv.writeRow({fmt(toHours(bounds[bi]), 0),
+                          fmt(rates[ri], 2),
+                          fmt(cost_row.back(), 4),
+                          fmt(carbon_row.back(), 4),
+                          std::to_string(r.eviction_count)});
+        }
+        cost_table.addRow(fmt(toHours(bounds[bi]), 0), cost_row);
+        carbon_table.addRow(fmt(toHours(bounds[bi]), 0),
+                            carbon_row);
+    }
+    cost_table.print(std::cout);
+    carbon_table.print(std::cout);
+
+    std::cout << "\nShape targets: q=0 columns fall monotonically "
+                 "in cost with flat carbon; higher q flattens or "
+                 "reverses the cost benefit and strictly raises "
+                 "carbon with J^max.\n";
+    return 0;
+}

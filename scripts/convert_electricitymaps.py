@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Convert an ElectricityMaps hourly CSV export into GAIA's format.
+
+ElectricityMaps dumps carry a datetime column plus many per-source
+columns; GAIA's CarbonTrace::fromCsv wants exactly
+(hour, carbon_intensity). This script extracts the direct carbon
+intensity column, renumbers hours from the first row, and fills
+gaps by carrying the previous value forward (flagging how many).
+
+Usage:
+    python3 scripts/convert_electricitymaps.py IN.csv OUT.csv \
+        [--column "Carbon Intensity gCO₂eq/kWh (direct)"]
+"""
+
+import argparse
+import csv
+import sys
+
+DEFAULT_CANDIDATES = [
+    "Carbon Intensity gCO₂eq/kWh (direct)",
+    "Carbon Intensity gCO2eq/kWh (direct)",
+    "carbon_intensity_avg",
+    "carbon_intensity",
+    "carbonIntensity",
+]
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("input")
+    parser.add_argument("output")
+    parser.add_argument("--column", default=None,
+                        help="intensity column name (default: "
+                             "autodetect)")
+    args = parser.parse_args()
+
+    with open(args.input, newline="") as fh:
+        reader = csv.DictReader(fh)
+        fields = reader.fieldnames or []
+        column = args.column
+        if column is None:
+            for candidate in DEFAULT_CANDIDATES:
+                if candidate in fields:
+                    column = candidate
+                    break
+        if column is None or column not in fields:
+            sys.exit(f"cannot find an intensity column in "
+                     f"{fields}; pass --column")
+        values = []
+        gaps = 0
+        for row in reader:
+            raw = (row.get(column) or "").strip()
+            if raw:
+                values.append(float(raw))
+            elif values:
+                values.append(values[-1])  # carry forward
+                gaps += 1
+            else:
+                gaps += 1  # leading gap: skip
+    if not values:
+        sys.exit("no intensity values found")
+
+    with open(args.output, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["hour", "carbon_intensity"])
+        for hour, value in enumerate(values):
+            writer.writerow([hour, f"{value:.4f}"])
+
+    print(f"wrote {len(values)} hourly slots to {args.output}"
+          + (f" ({gaps} gaps filled)" if gaps else ""))
+
+
+if __name__ == "__main__":
+    main()

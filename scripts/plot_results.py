@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Plot the figure-bench CSV mirrors.
+
+Every bench binary writes its series into bench_results/<name>.csv
+(override with GAIA_RESULTS_DIR). This script turns those mirrors
+into PNGs that visually parallel the paper's figures — the
+C++ harness prints the same data as aligned tables, so plotting is
+optional sugar, matching the original artifact's notebook.
+
+Usage:
+    # after: for b in build/bench/*; do $b; done
+    python3 scripts/plot_results.py [results_dir] [output_dir]
+
+Requires matplotlib (pip install matplotlib).
+"""
+
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path) as fh:
+        rows = list(csv.DictReader(fh))
+    return rows
+
+
+def col(rows, name, cast=float):
+    return [cast(r[name]) for r in rows]
+
+
+def save(fig, out_dir, name):
+    path = os.path.join(out_dir, name + ".png")
+    fig.tight_layout()
+    fig.savefig(path, dpi=130)
+    print("wrote", path)
+
+
+def plot_all(results_dir, out_dir):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    os.makedirs(out_dir, exist_ok=True)
+
+    def have(name):
+        return os.path.exists(os.path.join(results_dir,
+                                           name + ".csv"))
+
+    def rows_of(name):
+        return read_csv(os.path.join(results_dir, name + ".csv"))
+
+    # Figure 1: regional carbon intensity over three days.
+    if have("fig01_carbon_intensity"):
+        rows = rows_of("fig01_carbon_intensity")
+        fig, ax = plt.subplots(figsize=(7, 3))
+        hours = col(rows, "hour")
+        for series, label in (("ca_us", "California"),
+                              ("on_ca", "Ontario"),
+                              ("nl", "Netherlands")):
+            ax.plot(hours, col(rows, series), label=label)
+        ax.set_xlabel("hour")
+        ax.set_ylabel("g CO2eq/kWh")
+        ax.legend()
+        save(fig, out_dir, "fig01")
+
+    # Figure 2a: demand vs carbon-aware allocation.
+    if have("fig02a_demand_ca-us"):
+        rows = rows_of("fig02a_demand_ca-us")
+        fig, ax = plt.subplots(figsize=(7, 3))
+        hours = col(rows, "hour")
+        ax.plot(hours, col(rows, "original_cores"),
+                label="original")
+        ax.plot(hours, col(rows, "wait_awhile_cores"),
+                label="Wait Awhile", linestyle="--")
+        ax2 = ax.twinx()
+        ax2.plot(hours, col(rows, "carbon_intensity"),
+                 color="gray", alpha=0.4, label="carbon")
+        ax.set_xlabel("hour")
+        ax.set_ylabel("cores")
+        ax2.set_ylabel("g CO2eq/kWh")
+        ax.legend(loc="upper right")
+        save(fig, out_dir, "fig02a")
+
+    # Figure 8: normalized carbon / waiting bars.
+    if have("fig08_policy_comparison"):
+        rows = rows_of("fig08_policy_comparison")
+        labels = col(rows, "policy", str)
+        x = range(len(labels))
+        fig, ax = plt.subplots(figsize=(7, 3))
+        width = 0.4
+        ax.bar([i - width / 2 for i in x],
+               col(rows, "norm_carbon"), width, label="carbon")
+        ax.bar([i + width / 2 for i in x],
+               col(rows, "norm_wait"), width, label="waiting")
+        ax.set_xticks(list(x))
+        ax.set_xticklabels(labels, rotation=20, ha="right")
+        ax.set_ylabel("normalized")
+        ax.legend()
+        save(fig, out_dir, "fig08")
+
+    # Figure 11: reserved sweep.
+    if have("fig11_reserved_sweep"):
+        rows = rows_of("fig11_reserved_sweep")
+        fig, ax = plt.subplots(figsize=(6, 3.2))
+        reserved = col(rows, "reserved")
+        ax.plot(reserved, col(rows, "norm_cost"), "o-",
+                label="cost")
+        ax.plot(reserved, col(rows, "norm_carbon"), "s--",
+                label="carbon")
+        ax2 = ax.twinx()
+        ax2.plot(reserved, col(rows, "wait_hours"), "^:",
+                 color="gray", label="waiting (h)")
+        ax.set_xlabel("reserved instances")
+        ax.set_ylabel("normalized to NoWait")
+        ax2.set_ylabel("waiting (h)")
+        ax.legend(loc="center right")
+        save(fig, out_dir, "fig11")
+
+    # Figure 14: savings per waiting hour.
+    for part, name in (("a", "fig14a_wshort_sweep"),
+                       ("b", "fig14b_wlong_sweep")):
+        if not have(name):
+            continue
+        rows = rows_of(name)
+        fig, ax = plt.subplots(figsize=(5, 3.2))
+        w = col(rows, "w_hours")
+        ax.plot(w, col(rows, "lw_ratio"), "o-",
+                label="Lowest-Window")
+        ax.plot(w, col(rows, "ct_ratio"), "s--",
+                label="Carbon-Time")
+        ax.set_xlabel("W (hours)")
+        ax.set_ylabel("saved kg per waiting hour")
+        ax.legend()
+        save(fig, out_dir, "fig14" + part)
+
+    # Figure 18: spot sweep.
+    if have("fig18_spot_eviction"):
+        rows = rows_of("fig18_spot_eviction")
+        by_rate = {}
+        for r in rows:
+            by_rate.setdefault(r["eviction_rate"], []).append(r)
+        for metric, suffix in (("norm_cost", "cost"),
+                               ("norm_carbon", "carbon")):
+            fig, ax = plt.subplots(figsize=(5, 3.2))
+            for rate, rs in sorted(by_rate.items()):
+                ax.plot(col(rs, "jmax_hours"), col(rs, metric),
+                        "o-", label=f"q={rate}")
+            ax.set_xlabel("J^max on spot (h)")
+            ax.set_ylabel(metric.replace("_", " "))
+            ax.legend()
+            save(fig, out_dir, "fig18_" + suffix)
+
+    # Figure 19: hybrid sweep.
+    if have("fig19_hybrid_sweep"):
+        rows = rows_of("fig19_hybrid_sweep")
+        by_jmax = {}
+        for r in rows:
+            by_jmax.setdefault(r["jmax_hours"], []).append(r)
+        fig, ax = plt.subplots(figsize=(5.5, 3.2))
+        for jmax, rs in sorted(by_jmax.items(), key=lambda kv:
+                               float(kv[0])):
+            ax.plot(col(rs, "reserved"), col(rs, "norm_cost"),
+                    "o-", label=f"Jmax={jmax}h")
+        ax.set_xlabel("reserved instances")
+        ax.set_ylabel("cost (normalized)")
+        ax.legend()
+        save(fig, out_dir, "fig19_cost")
+
+    print("done")
+
+
+def main():
+    results_dir = sys.argv[1] if len(sys.argv) > 1 else \
+        os.environ.get("GAIA_RESULTS_DIR", "bench_results")
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else "plots"
+    if not os.path.isdir(results_dir):
+        sys.exit(f"no results directory '{results_dir}' — run the "
+                 "bench binaries first")
+    try:
+        plot_all(results_dir, out_dir)
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#include "analysis/carbon_tax.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace gaia {
+
+double
+carbonCost(const SimulationResult &result, double per_tonne)
+{
+    GAIA_ASSERT(per_tonne >= 0.0, "negative carbon price");
+    return result.carbon_kg / 1000.0 * per_tonne;
+}
+
+double
+effectiveCost(const SimulationResult &result, double per_tonne)
+{
+    return result.totalCost() + carbonCost(result, per_tonne);
+}
+
+double
+breakEvenCarbonPrice(const SimulationResult &green,
+                     const SimulationResult &baseline)
+{
+    const double extra_cost =
+        green.totalCost() - baseline.totalCost();
+    if (extra_cost <= 0.0)
+        return 0.0;
+    const double avoided_tonnes =
+        (baseline.carbon_kg - green.carbon_kg) / 1000.0;
+    if (avoided_tonnes <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return extra_cost / avoided_tonnes;
+}
+
+} // namespace gaia

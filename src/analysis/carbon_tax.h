@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Carbon pricing: collapsing the carbon axis into dollars.
+ *
+ * The paper's discussion (§7) observes that a carbon tax (or a
+ * mandatory offset price) would fold the three-way
+ * carbon-performance-cost trade-off into a familiar two-way
+ * cost-performance one — if cloud providers exposed that cost.
+ * These helpers price a simulation's emissions, compute the
+ * tax-inclusive effective cost, and find the break-even carbon
+ * price at which a carbon-aware schedule becomes cheaper than a
+ * carbon-agnostic one outright.
+ */
+
+#ifndef GAIA_ANALYSIS_CARBON_TAX_H
+#define GAIA_ANALYSIS_CARBON_TAX_H
+
+#include "sim/results.h"
+
+namespace gaia {
+
+/** Dollar value of a run's emissions at $`per_tonne`/t·CO2eq. */
+double carbonCost(const SimulationResult &result,
+                  double per_tonne);
+
+/** Cloud cost plus priced emissions. */
+double effectiveCost(const SimulationResult &result,
+                     double per_tonne);
+
+/**
+ * Carbon price ($/tonne) at which `green` and `baseline` have equal
+ * effective cost: the premium the greener run pays per tonne it
+ * avoids. Returns:
+ *   - 0 when `green` is already no more expensive,
+ *   - +infinity when `green` emits at least as much (no price can
+ *     ever justify it).
+ */
+double breakEvenCarbonPrice(const SimulationResult &green,
+                            const SimulationResult &baseline);
+
+} // namespace gaia
+
+#endif // GAIA_ANALYSIS_CARBON_TAX_H

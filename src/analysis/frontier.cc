@@ -1,0 +1,79 @@
+#include "analysis/frontier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gaia {
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<MetricsRow> &rows)
+{
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < rows.size() && !dominated;
+             ++j) {
+            if (i == j)
+                continue;
+            const bool no_worse =
+                rows[j].cost <= rows[i].cost &&
+                rows[j].carbon_kg <= rows[i].carbon_kg;
+            const bool strictly_better =
+                rows[j].cost < rows[i].cost ||
+                rows[j].carbon_kg < rows[i].carbon_kg;
+            // Ties: only an earlier identical row dominates, so
+            // exactly one representative of each duplicate group
+            // survives.
+            const bool identical =
+                rows[j].cost == rows[i].cost &&
+                rows[j].carbon_kg == rows[i].carbon_kg;
+            dominated = (no_worse && strictly_better) ||
+                        (identical && j < i);
+        }
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (rows[a].cost != rows[b].cost)
+                      return rows[a].cost < rows[b].cost;
+                  return a < b;
+              });
+    return frontier;
+}
+
+std::size_t
+kneePoint(const std::vector<MetricsRow> &rows,
+          const std::vector<std::size_t> &frontier)
+{
+    GAIA_ASSERT(!frontier.empty(), "knee of an empty frontier");
+    if (frontier.size() <= 2)
+        return frontier.front();
+
+    const MetricsRow &first = rows[frontier.front()];
+    const MetricsRow &last = rows[frontier.back()];
+    const double cost_span =
+        std::max(last.cost - first.cost, 1e-12);
+    const double carbon_span =
+        std::max(first.carbon_kg - last.carbon_kg, 1e-12);
+
+    // Normalize so the chord runs (0,1) -> (1,0); distance to it is
+    // proportional to x + y - 1.
+    std::size_t best = frontier.front();
+    double best_distance = -1.0;
+    for (std::size_t idx : frontier) {
+        const double x = (rows[idx].cost - first.cost) / cost_span;
+        const double y =
+            (rows[idx].carbon_kg - last.carbon_kg) / carbon_span;
+        const double distance = 1.0 - x - y;
+        if (distance > best_distance) {
+            best_distance = distance;
+            best = idx;
+        }
+    }
+    return best;
+}
+
+} // namespace gaia

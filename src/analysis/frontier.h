@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Carbon-cost Pareto frontier extraction.
+ *
+ * Figure 4's operating-regime picture and the §7 guidance boil down
+ * to: among candidate configurations (reserved counts, spot bounds,
+ * policies), only the carbon-cost Pareto-optimal ones are worth
+ * offering to a user. These helpers identify that frontier and the
+ * knee point the paper recommends operating near.
+ */
+
+#ifndef GAIA_ANALYSIS_FRONTIER_H
+#define GAIA_ANALYSIS_FRONTIER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/metrics.h"
+
+namespace gaia {
+
+/**
+ * Indices of rows on the carbon-cost Pareto frontier (minimizing
+ * both): a row survives unless some other row is at most equal on
+ * both metrics and strictly better on one. Returned in ascending
+ * cost order; deterministic for ties (first occurrence wins).
+ */
+std::vector<std::size_t>
+paretoFrontier(const std::vector<MetricsRow> &rows);
+
+/**
+ * Knee of the frontier by the maximum-distance-to-chord rule: the
+ * frontier point farthest from the line joining the frontier's
+ * cheapest and greenest endpoints (both metrics normalized to the
+ * frontier's span first). Requires a non-empty frontier; with one
+ * or two points, returns the first.
+ */
+std::size_t kneePoint(const std::vector<MetricsRow> &rows,
+                      const std::vector<std::size_t> &frontier);
+
+} // namespace gaia
+
+#endif // GAIA_ANALYSIS_FRONTIER_H

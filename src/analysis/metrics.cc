@@ -1,0 +1,74 @@
+#include "analysis/metrics.h"
+
+#include <algorithm>
+
+namespace gaia {
+
+MetricsRow
+metricsOf(const std::string &label, const SimulationResult &result)
+{
+    MetricsRow row;
+    row.label = label;
+    row.carbon_kg = result.carbon_kg;
+    row.cost = result.totalCost();
+    row.wait_hours = result.meanWaitingHours();
+    row.completion_hours = result.meanCompletionHours();
+    return row;
+}
+
+namespace {
+
+template <typename Getter, typename Setter>
+void
+normalizeMetric(std::vector<MetricsRow> &rows, double denom,
+                Getter get, Setter set)
+{
+    for (MetricsRow &row : rows)
+        set(row, denom > 0.0 ? get(row) / denom : 0.0);
+}
+
+} // namespace
+
+std::vector<MetricsRow>
+normalizedToMax(std::vector<MetricsRow> rows)
+{
+    double carbon = 0.0, cost = 0.0, wait = 0.0, completion = 0.0;
+    for (const MetricsRow &row : rows) {
+        carbon = std::max(carbon, row.carbon_kg);
+        cost = std::max(cost, row.cost);
+        wait = std::max(wait, row.wait_hours);
+        completion = std::max(completion, row.completion_hours);
+    }
+    normalizeMetric(
+        rows, carbon, [](const MetricsRow &r) { return r.carbon_kg; },
+        [](MetricsRow &r, double v) { r.carbon_kg = v; });
+    normalizeMetric(
+        rows, cost, [](const MetricsRow &r) { return r.cost; },
+        [](MetricsRow &r, double v) { r.cost = v; });
+    normalizeMetric(
+        rows, wait, [](const MetricsRow &r) { return r.wait_hours; },
+        [](MetricsRow &r, double v) { r.wait_hours = v; });
+    normalizeMetric(
+        rows, completion,
+        [](const MetricsRow &r) { return r.completion_hours; },
+        [](MetricsRow &r, double v) { r.completion_hours = v; });
+    return rows;
+}
+
+std::vector<MetricsRow>
+normalizedTo(const MetricsRow &base, std::vector<MetricsRow> rows)
+{
+    for (MetricsRow &row : rows) {
+        if (base.carbon_kg > 0.0)
+            row.carbon_kg /= base.carbon_kg;
+        if (base.cost > 0.0)
+            row.cost /= base.cost;
+        if (base.wait_hours > 0.0)
+            row.wait_hours /= base.wait_hours;
+        if (base.completion_hours > 0.0)
+            row.completion_hours /= base.completion_hours;
+    }
+    return rows;
+}
+
+} // namespace gaia

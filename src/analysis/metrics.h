@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Metric extraction and normalization for the evaluation harness.
+ *
+ * Every figure in the paper reports carbon / cost / waiting time
+ * normalized either to the highest value across the compared
+ * policies or to a NoWait baseline; these helpers implement both
+ * conventions.
+ */
+
+#ifndef GAIA_ANALYSIS_METRICS_H
+#define GAIA_ANALYSIS_METRICS_H
+
+#include <string>
+#include <vector>
+
+#include "sim/results.h"
+
+namespace gaia {
+
+/** One labelled row of the carbon/cost/performance metrics. */
+struct MetricsRow
+{
+    std::string label;
+    double carbon_kg = 0.0;
+    double cost = 0.0;
+    double wait_hours = 0.0;
+    double completion_hours = 0.0;
+};
+
+/** Extract the headline metrics from one simulation result. */
+MetricsRow metricsOf(const std::string &label,
+                     const SimulationResult &result);
+
+/**
+ * Normalize every metric to its maximum across rows (the paper's
+ * "normalized to the highest value in each metric"). Zero maxima
+ * normalize to zero.
+ */
+std::vector<MetricsRow>
+normalizedToMax(std::vector<MetricsRow> rows);
+
+/**
+ * Normalize every metric to the corresponding value in `base`
+ * (the paper's "w.r.t. NoWait execution" convention). Zero base
+ * values pass the raw metric through.
+ */
+std::vector<MetricsRow> normalizedTo(const MetricsRow &base,
+                                     std::vector<MetricsRow> rows);
+
+} // namespace gaia
+
+#endif // GAIA_ANALYSIS_METRICS_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tiny fork-join helper for parameter sweeps: simulations are
+ * independent, so the figure harnesses fan each configuration out
+ * across hardware threads.
+ */
+
+#ifndef GAIA_ANALYSIS_PARALLEL_H
+#define GAIA_ANALYSIS_PARALLEL_H
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace gaia {
+
+/**
+ * Invoke `fn(i)` for i in [0, n) across up to `threads` workers
+ * (0 = hardware concurrency). `fn` must be safe to call
+ * concurrently for distinct indices; results should be written to
+ * pre-sized slots indexed by i.
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t n, Fn fn, unsigned threads = 0)
+{
+    if (n == 0)
+        return;
+    unsigned worker_count =
+        threads > 0 ? threads : std::thread::hardware_concurrency();
+    if (worker_count == 0)
+        worker_count = 2;
+    worker_count = static_cast<unsigned>(
+        std::min<std::size_t>(worker_count, n));
+
+    if (worker_count <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(worker_count);
+    for (unsigned w = 0; w < worker_count; ++w) {
+        workers.emplace_back([&] {
+            while (true) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (std::thread &t : workers)
+        t.join();
+}
+
+} // namespace gaia
+
+#endif // GAIA_ANALYSIS_PARALLEL_H

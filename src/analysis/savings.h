@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Carbon-savings attribution: which jobs contribute the savings
+ * (paper Figure 9) and how much saving each waiting hour buys
+ * (paper Figure 14).
+ */
+
+#ifndef GAIA_ANALYSIS_SAVINGS_H
+#define GAIA_ANALYSIS_SAVINGS_H
+
+#include <utility>
+#include <vector>
+
+#include "sim/results.h"
+
+namespace gaia {
+
+/**
+ * CDF of total carbon savings by job length: for each requested
+ * length (hours), the fraction of the run's total saved carbon
+ * contributed by jobs no longer than it. Runs with zero net savings
+ * return all-zero fractions.
+ */
+std::vector<std::pair<double, double>>
+savingsCdfByLength(const SimulationResult &result,
+                   const std::vector<double> &length_hours_points);
+
+/**
+ * Fraction of total carbon savings contributed by jobs whose length
+ * lies in [lo_hours, hi_hours).
+ */
+double savingsShareByLength(const SimulationResult &result,
+                            double lo_hours, double hi_hours);
+
+/**
+ * Saved carbon (kg) per mean waiting hour — the paper's Figure 14
+ * y-axis. Zero waiting maps to zero (no division blow-ups).
+ */
+double savingsPerWaitingHour(const SimulationResult &result);
+
+} // namespace gaia
+
+#endif // GAIA_ANALYSIS_SAVINGS_H

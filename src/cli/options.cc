@@ -1,0 +1,211 @@
+#include "cli/options.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace gaia {
+
+ResourceStrategy
+CliOptions::resolvedStrategy() const
+{
+    const std::string key = toLower(strategy);
+    if (key == "on-demand" || key == "ondemand")
+        return ResourceStrategy::OnDemandOnly;
+    if (key == "hybrid")
+        return ResourceStrategy::HybridGreedy;
+    if (key == "res-first" || key == "reserved-first")
+        return ResourceStrategy::ReservedFirst;
+    if (key == "spot-first")
+        return ResourceStrategy::SpotFirst;
+    if (key == "spot-res" || key == "spot-reserved")
+        return ResourceStrategy::SpotReserved;
+    fatal("unknown strategy '", strategy,
+          "'; expected on-demand, hybrid, res-first, spot-first, "
+          "or spot-res");
+}
+
+void
+parseWaitingSpec(const std::string &spec, Seconds &short_wait,
+                 Seconds &long_wait)
+{
+    const std::size_t sep = spec.find('x');
+    if (sep == std::string::npos) {
+        fatal("waiting spec '", spec,
+              "' must be SHORTxLONG hours, e.g. 6x24");
+    }
+    const double short_h = parseDouble(spec.substr(0, sep),
+                                       "short waiting hours");
+    const double long_h = parseDouble(spec.substr(sep + 1),
+                                      "long waiting hours");
+    if (short_h < 0.0 || long_h < 0.0)
+        fatal("waiting hours must be non-negative: ", spec);
+    short_wait = hours(short_h);
+    long_wait = hours(long_h);
+}
+
+std::string
+cliUsage()
+{
+    std::ostringstream oss;
+    oss << "gaia_run — carbon-, performance-, and cost-aware batch "
+           "scheduling\n\n"
+           "Workload (pick one):\n"
+           "  --workload NAME       alibaba | azure | mustang | "
+           "motivating (default alibaba)\n"
+           "  --workload-csv PATH   JobTrace CSV "
+           "(id,submit,length,cpus)\n"
+           "  --resample            apply the paper's sampling "
+           "pipeline to the CSV\n"
+           "                        (replicate to span, filter, "
+           "sample --jobs arrivals)\n"
+           "  --jobs N              synthesized job count "
+           "(default 1000)\n"
+           "  --span-days D         synthesized arrival span "
+           "(default 7)\n\n"
+           "Carbon intensity (pick one):\n"
+           "  --region NAME         SA-AU | ON-CA | CA-US | NL | "
+           "KY-US | SE | TX-US (default SA-AU)\n"
+           "  --carbon-csv PATH     CarbonTrace CSV "
+           "(hour,carbon_intensity)\n\n"
+           "Scheduling:\n"
+           "  --policy NAME         NoWait | AllWait-Threshold | "
+           "Wait-Awhile | Ecovisor |\n"
+           "                        Lowest-Slot | Lowest-Window | "
+           "Carbon-Time (default)\n"
+           "  --strategy NAME       on-demand (default) | hybrid | "
+           "res-first | spot-first | spot-res\n"
+           "  -w, --waiting SxL     max waiting hours, short x "
+           "long (default 6x24)\n"
+           "  --forecast-noise F    CIS forecast error sigma "
+           "(default 0)\n"
+           "  --forecaster NAME     oracle (default) | persistence "
+           "| profile\n\n"
+           "Cluster:\n"
+           "  --reserved N          reserved cores (default 0)\n"
+           "  --eviction-rate F     spot eviction probability per "
+           "hour (default 0)\n"
+           "  --spot-max-hours H    spot length bound (default 2)\n"
+           "  --startup-overhead-min M  per-acquisition instance "
+           "overhead (default 0)\n"
+           "  --idle-power-fraction F   idle reserved power share "
+           "(default 0)\n\n"
+           "Misc:\n"
+           "  --seed S              RNG seed (default 1)\n"
+           "  --output-dir DIR      CSV output directory "
+           "(default gaia_results)\n"
+           "  -h, --help            this text\n";
+    return oss.str();
+}
+
+bool
+parseCliOptions(const std::vector<std::string> &args,
+                CliOptions &options)
+{
+    const auto need_value = [&](std::size_t i,
+                                const std::string &flag) {
+        if (i + 1 >= args.size())
+            fatal("missing value for ", flag);
+        return args[i + 1];
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "-h" || arg == "--help")
+            return false;
+        if (arg == "--workload") {
+            options.workload = toLower(need_value(i++, arg));
+        } else if (arg == "--workload-csv") {
+            options.workload_csv = need_value(i++, arg);
+        } else if (arg == "--resample") {
+            options.resample = true;
+        } else if (arg == "--jobs") {
+            const std::int64_t n =
+                parseInt(need_value(i++, arg), "--jobs");
+            if (n <= 0)
+                fatal("--jobs must be positive");
+            options.jobs = static_cast<std::size_t>(n);
+        } else if (arg == "--span-days") {
+            options.span_days =
+                parseDouble(need_value(i++, arg), "--span-days");
+            if (options.span_days <= 0.0)
+                fatal("--span-days must be positive");
+        } else if (arg == "--region") {
+            options.region = need_value(i++, arg);
+        } else if (arg == "--carbon-csv") {
+            options.carbon_csv = need_value(i++, arg);
+        } else if (arg == "--policy") {
+            options.policy = need_value(i++, arg);
+        } else if (arg == "--strategy") {
+            options.strategy = need_value(i++, arg);
+        } else if (arg == "-w" || arg == "--waiting") {
+            parseWaitingSpec(need_value(i++, arg),
+                             options.short_wait,
+                             options.long_wait);
+        } else if (arg == "--forecast-noise") {
+            options.forecast_noise = parseDouble(
+                need_value(i++, arg), "--forecast-noise");
+            if (options.forecast_noise < 0.0)
+                fatal("--forecast-noise must be non-negative");
+        } else if (arg == "--forecaster") {
+            options.forecaster = toLower(need_value(i++, arg));
+            if (options.forecaster != "oracle" &&
+                options.forecaster != "persistence" &&
+                options.forecaster != "profile") {
+                fatal("unknown forecaster '", options.forecaster,
+                      "'; expected oracle, persistence, or "
+                      "profile");
+            }
+        } else if (arg == "--startup-overhead-min") {
+            options.startup_overhead_min = parseDouble(
+                need_value(i++, arg), "--startup-overhead-min");
+            if (options.startup_overhead_min < 0.0)
+                fatal("--startup-overhead-min must be "
+                      "non-negative");
+        } else if (arg == "--idle-power-fraction") {
+            options.idle_power_fraction = parseDouble(
+                need_value(i++, arg), "--idle-power-fraction");
+            if (options.idle_power_fraction < 0.0 ||
+                options.idle_power_fraction > 1.0)
+                fatal("--idle-power-fraction must be in [0,1]");
+        } else if (arg == "--reserved") {
+            options.reserved = static_cast<int>(
+                parseInt(need_value(i++, arg), "--reserved"));
+            if (options.reserved < 0)
+                fatal("--reserved must be non-negative");
+        } else if (arg == "--eviction-rate") {
+            options.eviction_rate = parseDouble(
+                need_value(i++, arg), "--eviction-rate");
+        } else if (arg == "--spot-max-hours") {
+            options.spot_max_hours = parseDouble(
+                need_value(i++, arg), "--spot-max-hours");
+            if (options.spot_max_hours < 0.0)
+                fatal("--spot-max-hours must be non-negative");
+        } else if (arg == "--seed") {
+            options.seed = static_cast<std::uint64_t>(
+                parseInt(need_value(i++, arg), "--seed"));
+        } else if (arg == "--output-dir") {
+            options.output_dir = need_value(i++, arg);
+        } else {
+            fatal("unknown argument '", arg, "'\n\n", cliUsage());
+        }
+    }
+
+    // Cross-checks that do not require running anything.
+    options.resolvedStrategy();
+    if (options.resample && options.workload_csv.empty())
+        fatal("--resample requires --workload-csv");
+    if (options.workload_csv.empty()) {
+        const std::string w = options.workload;
+        if (w != "alibaba" && w != "azure" && w != "mustang" &&
+            w != "motivating") {
+            fatal("unknown workload '", options.workload,
+                  "'; expected alibaba, azure, mustang, or "
+                  "motivating");
+        }
+    }
+    return true;
+}
+
+} // namespace gaia

@@ -1,0 +1,205 @@
+#include "cli/runner.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+
+#include "analysis/harness.h"
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "trace/forecast.h"
+#include "trace/region_model.h"
+#include "workload/generators.h"
+#include "workload/resampler.h"
+
+namespace gaia {
+
+namespace {
+
+JobTrace
+buildWorkload(const CliOptions &options)
+{
+    if (!options.workload_csv.empty()) {
+        JobTrace loaded = JobTrace::fromCsv(options.workload_csv,
+                                            options.workload_csv);
+        if (!options.resample)
+            return loaded;
+        // The paper's §6.1 construction on a user-provided trace.
+        return buildFromTrace(loaded, options.jobs,
+                              days(options.span_days),
+                              options.seed);
+    }
+
+    const Seconds span = days(options.span_days);
+    if (options.workload == "motivating")
+        return makeMotivatingTrace(span, options.seed);
+
+    TraceBuildOptions build;
+    build.job_count = options.jobs;
+    build.span = span;
+    build.seed = options.seed;
+    if (options.workload == "alibaba")
+        return buildTrace(WorkloadSource::AlibabaPai, build);
+    if (options.workload == "azure")
+        return buildTrace(WorkloadSource::AzureVm, build);
+    if (options.workload == "mustang")
+        return buildTrace(WorkloadSource::MustangHpc, build);
+    fatal("unknown workload '", options.workload, "'");
+}
+
+CarbonTrace
+buildCarbon(const CliOptions &options, const JobTrace &trace)
+{
+    if (!options.carbon_csv.empty())
+        return CarbonTrace::fromCsv(options.carbon_csv,
+                                    options.carbon_csv);
+    // Cover the busy horizon plus scheduling slack.
+    const Seconds horizon = trace.busyHorizon() +
+                            options.long_wait + 2 * kSecondsPerDay;
+    const auto slots = static_cast<std::size_t>(
+        (horizon + kSecondsPerHour - 1) / kSecondsPerHour);
+    return makeRegionTrace(regionFromName(options.region), slots,
+                           options.seed);
+}
+
+} // namespace
+
+RunArtifacts
+writeRunArtifacts(const SimulationResult &result,
+                  const std::string &output_dir)
+{
+    std::filesystem::create_directories(output_dir);
+    RunArtifacts artifacts;
+    artifacts.aggregate_csv = output_dir + "/aggregate.csv";
+    artifacts.details_csv = output_dir + "/details.csv";
+    artifacts.allocation_csv = output_dir + "/allocation.csv";
+
+    {
+        CsvWriter aggregate(
+            artifacts.aggregate_csv,
+            {"policy", "strategy", "region", "workload", "jobs",
+             "carbon_kg", "carbon_nowait_kg", "total_cost",
+             "reserved_upfront", "on_demand_cost", "spot_cost",
+             "energy_kwh", "mean_wait_h", "p95_wait_h",
+             "mean_completion_h", "reserved_cores",
+             "reserved_utilization", "evictions"});
+        aggregate.writeRow(
+            {result.policy, result.strategy, result.region,
+             result.workload, std::to_string(result.outcomes.size()),
+             fmt(result.carbon_kg, 6),
+             fmt(result.carbon_nowait_kg, 6),
+             fmt(result.totalCost(), 6),
+             fmt(result.reserved_upfront, 6),
+             fmt(result.on_demand_cost, 6),
+             fmt(result.spot_cost, 6), fmt(result.energy_kwh, 6),
+             fmt(result.meanWaitingHours(), 4),
+             fmt(result.p95WaitingHours(), 4),
+             fmt(result.meanCompletionHours(), 4),
+             std::to_string(result.reserved_cores),
+             fmt(result.reserved_utilization, 4),
+             std::to_string(result.eviction_count)});
+    }
+
+    {
+        CsvWriter details(
+            artifacts.details_csv,
+            {"id", "submit", "length", "cpus", "start", "finish",
+             "wait_s", "carbon_g", "carbon_nowait_g",
+             "variable_cost", "evictions", "lost_core_seconds"});
+        for (const JobOutcome &o : result.outcomes) {
+            details.writeRow(
+                {std::to_string(o.id), std::to_string(o.submit),
+                 std::to_string(o.length), std::to_string(o.cpus),
+                 std::to_string(o.start), std::to_string(o.finish),
+                 std::to_string(o.waiting()), fmt(o.carbon_g, 6),
+                 fmt(o.carbon_nowait_g, 6),
+                 fmt(o.variable_cost, 6),
+                 std::to_string(o.evictions),
+                 fmt(o.lost_core_seconds, 1)});
+        }
+    }
+
+    {
+        const auto reserved = allocationSeries(
+            result, kSecondsPerHour, false,
+            PurchaseOption::Reserved);
+        const auto on_demand = allocationSeries(
+            result, kSecondsPerHour, false,
+            PurchaseOption::OnDemand);
+        const auto spot = allocationSeries(
+            result, kSecondsPerHour, false, PurchaseOption::Spot);
+        CsvWriter allocation(
+            artifacts.allocation_csv,
+            {"hour", "reserved", "on_demand", "spot"});
+        const std::size_t slots = std::max(
+            {reserved.size(), on_demand.size(), spot.size()});
+        const auto at = [](const std::vector<double> &v,
+                           std::size_t i) {
+            return i < v.size() ? v[i] : 0.0;
+        };
+        for (std::size_t h = 0; h < slots; ++h) {
+            allocation.writeRow({std::to_string(h),
+                                 fmt(at(reserved, h), 3),
+                                 fmt(at(on_demand, h), 3),
+                                 fmt(at(spot, h), 3)});
+        }
+    }
+    return artifacts;
+}
+
+SimulationResult
+runFromOptions(const CliOptions &options, RunArtifacts *artifacts)
+{
+    const JobTrace trace = buildWorkload(options);
+    if (trace.empty())
+        fatal("workload trace is empty");
+    const CarbonTrace carbon = buildCarbon(options, trace);
+
+    // Forecast source: ground truth (optionally noisy) or a real
+    // forecasting model.
+    std::unique_ptr<CarbonForecaster> forecaster;
+    if (options.forecaster == "persistence")
+        forecaster = std::make_unique<PersistenceForecaster>();
+    else if (options.forecaster == "profile")
+        forecaster = std::make_unique<DiurnalProfileForecaster>();
+    const CarbonInfoService cis =
+        forecaster ? CarbonInfoService(carbon, *forecaster)
+                   : CarbonInfoService(carbon,
+                                       options.forecast_noise,
+                                       options.seed);
+
+    const QueueConfig queues = calibratedQueues(
+        trace, options.short_wait, options.long_wait);
+
+    ClusterConfig cluster;
+    cluster.reserved_cores = options.reserved;
+    cluster.spot_eviction_rate = options.eviction_rate;
+    cluster.spot_max_length = hours(options.spot_max_hours);
+    cluster.startup_overhead =
+        minutes(options.startup_overhead_min);
+    cluster.reserved_idle_power_fraction =
+        options.idle_power_fraction;
+    cluster.seed = options.seed;
+
+    ResourceStrategy strategy = options.resolvedStrategy();
+    if (strategy == ResourceStrategy::OnDemandOnly &&
+        options.reserved > 0) {
+        inform("reserved cores with on-demand strategy: switching "
+               "to the hybrid strategy");
+        strategy = ResourceStrategy::HybridGreedy;
+    }
+
+    SimulationResult result =
+        runPolicy(options.policy, trace, queues, cis, cluster,
+                  strategy);
+    const RunArtifacts files =
+        writeRunArtifacts(result, options.output_dir);
+    if (artifacts != nullptr)
+        *artifacts = files;
+    return result;
+}
+
+} // namespace gaia

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * gaia_run execution: assemble the scenario described by the
+ * options, simulate, and emit the artifact's three result files —
+ *
+ *   aggregate.csv   one row of cluster-level totals,
+ *   details.csv     one row per job (timing, carbon, cost),
+ *   allocation.csv  hourly cores in use per purchase option.
+ */
+
+#ifndef GAIA_CLI_RUNNER_H
+#define GAIA_CLI_RUNNER_H
+
+#include <string>
+
+#include "cli/options.h"
+#include "sim/results.h"
+
+namespace gaia {
+
+/** Paths of the files one run produced. */
+struct RunArtifacts
+{
+    std::string aggregate_csv;
+    std::string details_csv;
+    std::string allocation_csv;
+};
+
+/**
+ * Execute one gaia_run invocation: build (or load) the workload and
+ * carbon traces, simulate, write the three CSVs into
+ * options.output_dir, and return the result for further inspection.
+ */
+SimulationResult runFromOptions(const CliOptions &options,
+                                RunArtifacts *artifacts = nullptr);
+
+/** Write the three artifact CSVs for an existing result. */
+RunArtifacts writeRunArtifacts(const SimulationResult &result,
+                               const std::string &output_dir);
+
+} // namespace gaia
+
+#endif // GAIA_CLI_RUNNER_H

@@ -1,0 +1,45 @@
+#include "cloud/eviction.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gaia {
+
+EvictionModel::EvictionModel(double hourly_rate) : rate_(hourly_rate)
+{
+    if (rate_ < 0.0 || rate_ > 1.0)
+        fatal("eviction rate out of [0,1]: ", rate_);
+}
+
+Seconds
+EvictionModel::sampleEvictionOffset(Rng &rng, Seconds duration) const
+{
+    GAIA_ASSERT(duration >= 0, "negative spot run duration");
+    if (rate_ <= 0.0 || duration == 0)
+        return -1;
+    if (rate_ >= 1.0)
+        return 0; // certain eviction, immediately
+
+    // Constant hazard consistent with survivalProbability() for
+    // runs of any (fractional-hour) duration: time-to-eviction is
+    // exponential with per-hour survival (1 - rate).
+    const double hazard_per_hour = -std::log1p(-rate_);
+    const double hours_to_eviction =
+        rng.exponential(1.0 / hazard_per_hour);
+    const Seconds offset = static_cast<Seconds>(
+        hours_to_eviction * static_cast<double>(kSecondsPerHour));
+    return offset >= duration ? -1 : offset;
+}
+
+double
+EvictionModel::survivalProbability(Seconds duration) const
+{
+    if (rate_ <= 0.0)
+        return 1.0;
+    if (rate_ >= 1.0)
+        return duration == 0 ? 1.0 : 0.0;
+    return std::pow(1.0 - rate_, toHours(duration));
+}
+
+} // namespace gaia

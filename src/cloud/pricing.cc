@@ -1,0 +1,67 @@
+#include "cloud/pricing.h"
+
+#include "common/logging.h"
+
+namespace gaia {
+
+double
+PricingModel::ratePerCoreHour(PurchaseOption option) const
+{
+    switch (option) {
+      case PurchaseOption::Reserved:
+        return on_demand_per_core_hour * reserved_fraction;
+      case PurchaseOption::OnDemand:
+        return on_demand_per_core_hour;
+      case PurchaseOption::Spot:
+        return on_demand_per_core_hour * spot_fraction;
+    }
+    panic("unknown purchase option");
+}
+
+double
+PricingModel::usageCost(PurchaseOption option,
+                        double core_seconds) const
+{
+    GAIA_ASSERT(core_seconds >= 0.0, "negative usage ", core_seconds);
+    GAIA_ASSERT(option != PurchaseOption::Reserved,
+                "reserved capacity is billed upfront, not by usage");
+    return ratePerCoreHour(option) * core_seconds /
+           static_cast<double>(kSecondsPerHour);
+}
+
+double
+PricingModel::reservedUpfront(int cores, Seconds horizon) const
+{
+    GAIA_ASSERT(cores >= 0, "negative reserved cores ", cores);
+    GAIA_ASSERT(horizon >= 0, "negative reservation horizon");
+    return ratePerCoreHour(PurchaseOption::Reserved) * cores *
+           toHours(horizon);
+}
+
+void
+PricingModel::validate() const
+{
+    if (on_demand_per_core_hour < 0.0)
+        fatal("negative on-demand price ", on_demand_per_core_hour);
+    if (reserved_fraction < 0.0 || reserved_fraction > 1.0)
+        fatal("reserved fraction out of [0,1]: ", reserved_fraction);
+    if (spot_fraction < 0.0 || spot_fraction > 1.0)
+        fatal("spot fraction out of [0,1]: ", spot_fraction);
+}
+
+double
+EnergyModel::kilowatts(int cores) const
+{
+    GAIA_ASSERT(cores >= 0, "negative core count ", cores);
+    return watts_per_core * cores / 1000.0;
+}
+
+double
+EnergyModel::kilowattHours(double core_seconds) const
+{
+    GAIA_ASSERT(core_seconds >= 0.0, "negative usage ", core_seconds);
+    return watts_per_core * core_seconds /
+           (1000.0 * static_cast<double>(kSecondsPerHour));
+}
+
+} // namespace gaia

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cloud pricing and energy models.
+ *
+ * Defaults mirror the paper's deployment: c7gn.medium workers at
+ * $0.0624 per core-hour on-demand, 3-year reserved instances at 40%
+ * of the on-demand price (paid upfront for the whole contract
+ * horizon whether used or not), and spot at 20%.
+ *
+ * The energy model converts occupied cores into electrical power so
+ * the accounting layer can turn carbon-intensity integrals into
+ * grams of CO2eq. Idle reserved cores draw no power (the paper's §3
+ * assumption: reserved instances are turned off when idle).
+ */
+
+#ifndef GAIA_CLOUD_PRICING_H
+#define GAIA_CLOUD_PRICING_H
+
+#include "cloud/purchase.h"
+#include "common/time.h"
+
+namespace gaia {
+
+/** Per-core-hour price structure across purchase options. */
+struct PricingModel
+{
+    /** On-demand price per core-hour, $ (c7gn.medium default). */
+    double on_demand_per_core_hour = 0.0624;
+    /** Reserved price as a fraction of on-demand (3-year contract). */
+    double reserved_fraction = 0.40;
+    /** Spot price as a fraction of on-demand. */
+    double spot_fraction = 0.20;
+
+    /** Effective per-core-hour rate for `option`. */
+    double ratePerCoreHour(PurchaseOption option) const;
+
+    /** Pay-as-you-go cost of `core_seconds` on `option` ($). */
+    double usageCost(PurchaseOption option, double core_seconds) const;
+
+    /**
+     * Upfront cost of reserving `cores` cores for `horizon` ($);
+     * owed in full regardless of utilization.
+     */
+    double reservedUpfront(int cores, Seconds horizon) const;
+
+    /** Validate ranges; fatal() on nonsense (negative prices…). */
+    void validate() const;
+};
+
+/** Electrical power drawn by busy cores. */
+struct EnergyModel
+{
+    /** Active power per busy core, watts. */
+    double watts_per_core = 5.0;
+
+    /** Power of `cores` busy cores, kW. */
+    double kilowatts(int cores) const;
+
+    /** Energy of `core_seconds` of busy time, kWh. */
+    double kilowattHours(double core_seconds) const;
+};
+
+} // namespace gaia
+
+#endif // GAIA_CLOUD_PRICING_H

@@ -1,0 +1,21 @@
+#include "cloud/purchase.h"
+
+#include "common/logging.h"
+
+namespace gaia {
+
+std::string
+purchaseName(PurchaseOption option)
+{
+    switch (option) {
+      case PurchaseOption::Reserved:
+        return "reserved";
+      case PurchaseOption::OnDemand:
+        return "on-demand";
+      case PurchaseOption::Spot:
+        return "spot";
+    }
+    panic("unknown purchase option");
+}
+
+} // namespace gaia

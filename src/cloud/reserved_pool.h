@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Counting allocator for the fixed reserved-core pool.
+ *
+ * Tracks how many reserved cores are busy and integrates the busy
+ * core-seconds over time so cluster utilization — the quantity that
+ * determines whether the upfront reservation paid off — can be
+ * reported exactly.
+ */
+
+#ifndef GAIA_CLOUD_RESERVED_POOL_H
+#define GAIA_CLOUD_RESERVED_POOL_H
+
+#include "common/time.h"
+
+namespace gaia {
+
+/** Fixed pool of reserved cores with time-weighted usage tracking. */
+class ReservedPool
+{
+  public:
+    /** @param capacity total reserved cores (may be zero). */
+    explicit ReservedPool(int capacity);
+
+    int capacity() const { return capacity_; }
+    int inUse() const { return in_use_; }
+    int freeCores() const { return capacity_ - in_use_; }
+
+    /** True when `cores` can be acquired right now. */
+    bool canFit(int cores) const;
+
+    /**
+     * Acquire `cores` at time `now`; the caller must have checked
+     * canFit(). Time must be monotonically non-decreasing across
+     * acquire/release calls.
+     */
+    void acquire(int cores, Seconds now);
+
+    /** Release `cores` at time `now`. */
+    void release(int cores, Seconds now);
+
+    /**
+     * Busy core-seconds accumulated through `now` (includes cores
+     * still held).
+     */
+    double usedCoreSeconds(Seconds now) const;
+
+    /**
+     * Utilization in [0, 1] over [0, now]: busy core-seconds over
+     * capacity * now. Zero-capacity pools report zero.
+     */
+    double utilization(Seconds now) const;
+
+  private:
+    void advanceTo(Seconds now);
+
+    int capacity_;
+    int in_use_ = 0;
+    Seconds last_update_ = 0;
+    double used_core_seconds_ = 0.0;
+};
+
+} // namespace gaia
+
+#endif // GAIA_CLOUD_RESERVED_POOL_H

@@ -1,0 +1,146 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace gaia {
+
+namespace {
+
+CsvTable
+parseStream(std::istream &in, const std::string &context)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        fatal("empty CSV input: ", context);
+
+    std::vector<std::string> header;
+    for (const auto &field : split(line, ','))
+        header.emplace_back(trim(field));
+    if (header.empty())
+        fatal("CSV header has no columns: ", context);
+
+    std::vector<std::vector<std::string>> rows;
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (trim(line).empty())
+            continue;
+        std::vector<std::string> row;
+        for (const auto &field : split(line, ','))
+            row.emplace_back(trim(field));
+        if (row.size() != header.size()) {
+            fatal("CSV row ", line_no, " has ", row.size(),
+                  " fields, expected ", header.size(), ": ", context);
+        }
+        rows.push_back(std::move(row));
+    }
+    return CsvTable(std::move(header), std::move(rows));
+}
+
+} // namespace
+
+CsvTable::CsvTable(std::vector<std::string> header,
+                   std::vector<std::vector<std::string>> rows)
+    : header_(std::move(header)), rows_(std::move(rows))
+{
+    for (const auto &row : rows_) {
+        GAIA_ASSERT(row.size() == header_.size(),
+                    "ragged CSV row of width ", row.size());
+    }
+}
+
+std::size_t
+CsvTable::columnIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+        if (header_[i] == name)
+            return i;
+    }
+    fatal("CSV column '", name, "' not found");
+}
+
+const std::string &
+CsvTable::cell(std::size_t row, std::size_t col) const
+{
+    GAIA_ASSERT(row < rows_.size(), "CSV row out of range: ", row);
+    GAIA_ASSERT(col < header_.size(), "CSV column out of range: ", col);
+    return rows_[row][col];
+}
+
+double
+CsvTable::cellDouble(std::size_t row, std::size_t col) const
+{
+    std::ostringstream ctx;
+    ctx << "row " << row << ", column '" << header_[col] << "'";
+    return parseDouble(cell(row, col), ctx.str());
+}
+
+std::int64_t
+CsvTable::cellInt(std::size_t row, std::size_t col) const
+{
+    std::ostringstream ctx;
+    ctx << "row " << row << ", column '" << header_[col] << "'";
+    return parseInt(cell(row, col), ctx.str());
+}
+
+std::vector<double>
+CsvTable::columnDoubles(const std::string &name) const
+{
+    const std::size_t col = columnIndex(name);
+    std::vector<double> out;
+    out.reserve(rows_.size());
+    for (std::size_t r = 0; r < rows_.size(); ++r)
+        out.push_back(cellDouble(r, col));
+    return out;
+}
+
+CsvTable
+readCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open CSV file: ", path);
+    return parseStream(in, path);
+}
+
+CsvTable
+readCsvText(const std::string &text, const std::string &context)
+{
+    std::istringstream in(text);
+    return parseStream(in, context);
+}
+
+CsvWriter::CsvWriter(const std::string &path,
+                     std::vector<std::string> header)
+    : path_(path), width_(header.size()), out_(path)
+{
+    if (!out_)
+        fatal("cannot open CSV file for writing: ", path);
+    GAIA_ASSERT(width_ > 0, "CSV writer needs a non-empty header");
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (i > 0)
+            out_ << ',';
+        out_ << header[i];
+    }
+    out_ << '\n';
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    GAIA_ASSERT(fields.size() == width_, "CSV row width ",
+                fields.size(), " != header width ", width_);
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            out_ << ',';
+        out_ << fields[i];
+    }
+    out_ << '\n';
+}
+
+} // namespace gaia

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal CSV reader/writer used for trace I/O and experiment output.
+ *
+ * The format is deliberately simple (no quoting/escaping): GAIA's
+ * traces are purely numeric plus identifier columns, matching the
+ * original artifact's file layout. A header row is required on read
+ * and emitted on write.
+ */
+
+#ifndef GAIA_COMMON_CSV_H
+#define GAIA_COMMON_CSV_H
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gaia {
+
+/** In-memory CSV table: a header plus string-valued rows. */
+class CsvTable
+{
+  public:
+    CsvTable(std::vector<std::string> header,
+             std::vector<std::vector<std::string>> rows);
+
+    const std::vector<std::string> &header() const { return header_; }
+    std::size_t rowCount() const { return rows_.size(); }
+    std::size_t columnCount() const { return header_.size(); }
+
+    /** Column index for `name`; fatal() if absent. */
+    std::size_t columnIndex(const std::string &name) const;
+
+    /** Raw cell access. */
+    const std::string &cell(std::size_t row, std::size_t col) const;
+
+    /** Typed accessors with error context in fatal() messages. */
+    double cellDouble(std::size_t row, std::size_t col) const;
+    std::int64_t cellInt(std::size_t row, std::size_t col) const;
+
+    /** Full column extraction as doubles. */
+    std::vector<double> columnDoubles(const std::string &name) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Parse a CSV file; fatal() on missing file or ragged rows. */
+CsvTable readCsv(const std::string &path);
+
+/** Parse CSV from a string (tests, generated content). */
+CsvTable readCsvText(const std::string &text,
+                     const std::string &context = "<string>");
+
+/**
+ * Streaming CSV writer. Rows must match the header width; the file
+ * is flushed and closed on destruction.
+ */
+class CsvWriter
+{
+  public:
+    CsvWriter(const std::string &path,
+              std::vector<std::string> header);
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+    void writeRow(const std::vector<std::string> &fields);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::size_t width_;
+    std::ofstream out_;
+};
+
+} // namespace gaia
+
+#endif // GAIA_COMMON_CSV_H

@@ -1,0 +1,62 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace gaia {
+
+namespace {
+
+std::atomic<std::size_t> warning_counter{0};
+std::atomic<bool> quiet_mode{false};
+
+} // namespace
+
+namespace detail {
+
+void
+panicImpl(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    warning_counter.fetch_add(1, std::memory_order_relaxed);
+    if (!quiet_mode.load(std::memory_order_relaxed))
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet_mode.load(std::memory_order_relaxed))
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+
+std::size_t
+warningCount()
+{
+    return warning_counter.load(std::memory_order_relaxed);
+}
+
+void
+setQuiet(bool quiet)
+{
+    quiet_mode.store(quiet, std::memory_order_relaxed);
+}
+
+} // namespace gaia

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Status and error reporting helpers for the GAIA libraries.
+ *
+ * Mirrors the classic simulator convention:
+ *   - panic():  an internal invariant was violated (a GAIA bug);
+ *               aborts so that a debugger or core dump can be used.
+ *   - fatal():  the program cannot continue because of a user error
+ *               (bad configuration, malformed input); exits cleanly
+ *               with a non-zero status.
+ *   - warn():   something is suspicious but execution continues.
+ *   - inform(): plain status output for the user.
+ *
+ * All helpers accept printf-free, iostream-free variadic arguments
+ * that are stitched together with operator<< semantics, e.g.
+ *
+ *     gaia::fatal("trace file ", path, " has ", n, " columns");
+ */
+
+#ifndef GAIA_COMMON_LOGGING_H
+#define GAIA_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gaia {
+
+namespace detail {
+
+/** Concatenate a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    if constexpr (sizeof...(args) == 0) {
+        return std::string();
+    } else {
+        std::ostringstream oss;
+        (oss << ... << std::forward<Args>(args));
+        return oss.str();
+    }
+}
+
+/** Emit a tagged message to stderr; aborts when `is_panic`. */
+[[noreturn]] void panicImpl(const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and abort. Use only for
+ * conditions that indicate a bug in GAIA itself.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report an unrecoverable user-level error (bad input, bad config)
+ * and exit with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report ordinary status to the user. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Assert an invariant with a formatted message. Unlike <cassert>,
+ * stays active in release builds; GAIA's correctness checks are cheap
+ * relative to simulation work.
+ */
+#define GAIA_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::gaia::panic("assertion failed: ", #cond, " — ",           \
+                          ::gaia::detail::concat(__VA_ARGS__), " (",    \
+                          __FILE__, ":", __LINE__, ")");                \
+        }                                                               \
+    } while (0)
+
+/** Count of warnings emitted so far (used by tests). */
+std::size_t warningCount();
+
+/** Suppress or re-enable warn()/inform() output (used by tests). */
+void setQuiet(bool quiet);
+
+} // namespace gaia
+
+#endif // GAIA_COMMON_LOGGING_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Descriptive statistics used throughout trace analysis and the
+ * evaluation harness: running moments, percentiles, CDFs, Pearson
+ * correlation, and coefficient of variation.
+ */
+
+#ifndef GAIA_COMMON_STATS_H
+#define GAIA_COMMON_STATS_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace gaia {
+
+/**
+ * Single-pass accumulator for mean/variance/min/max (Welford's
+ * algorithm, numerically stable).
+ */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Merge another accumulator (parallel reduction). */
+    void merge(const RunningStats &other);
+
+    std::size_t count() const { return count_; }
+    double mean() const;
+    /** Population variance (division by n). */
+    double variance() const;
+    double stddev() const;
+    /** Coefficient of variation: stddev / mean (0 when mean == 0). */
+    double cov() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Percentile of a sample using linear interpolation between closest
+ * ranks. `p` in [0, 100]. The input is copied and sorted.
+ */
+double percentile(std::vector<double> values, double p);
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double> &values);
+
+/** Pearson correlation coefficient; requires equal non-empty sizes. */
+double pearson(const std::vector<double> &x,
+               const std::vector<double> &y);
+
+/**
+ * Empirical CDF evaluated at `points`: one (x, P[X <= x]) pair per
+ * requested point.
+ */
+std::vector<std::pair<double, double>>
+empiricalCdf(std::vector<double> sample,
+             const std::vector<double> &points);
+
+/**
+ * Equi-depth CDF of a sample: `resolution` evenly spaced probability
+ * levels with the corresponding sample quantiles. Useful for plotting
+ * a whole distribution compactly.
+ */
+std::vector<std::pair<double, double>>
+cdfCurve(std::vector<double> sample, std::size_t resolution = 100);
+
+/**
+ * Weighted histogram share: fraction of `weights` mass whose paired
+ * `keys` value falls into [lo, hi). Sizes must match.
+ */
+double weightedShare(const std::vector<double> &keys,
+                     const std::vector<double> &weights, double lo,
+                     double hi);
+
+} // namespace gaia
+
+#endif // GAIA_COMMON_STATS_H

@@ -1,0 +1,79 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace gaia {
+
+TextTable::TextTable(std::string title,
+                     std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header))
+{
+    GAIA_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    GAIA_ASSERT(cells.size() == header_.size(), "row width ",
+                cells.size(), " != header width ", header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addRow(const std::string &label,
+                  const std::vector<double> &values, int places)
+{
+    GAIA_ASSERT(values.size() + 1 == header_.size(),
+                "label+values width mismatch");
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(fmt(v, places));
+    addRow(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+
+    os << "\n== " << title_ << " ==\n";
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            const std::size_t pad = widths[c] - cells[c].size() + 2;
+            if (c + 1 < cells.size())
+                os << std::string(pad, ' ');
+        }
+        os << '\n';
+    };
+    emit_row(header_);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace gaia

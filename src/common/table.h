@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Aligned text-table rendering for the benchmark harness. Every
+ * figure-reproduction binary prints its series through TextTable so
+ * output is easy to eyeball and to diff against EXPERIMENTS.md.
+ */
+
+#ifndef GAIA_COMMON_TABLE_H
+#define GAIA_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gaia {
+
+/**
+ * A simple column-aligned table with a title and header row.
+ * Cells are strings; numeric helpers format through gaia::fmt().
+ */
+class TextTable
+{
+  public:
+    TextTable(std::string title, std::vector<std::string> header);
+
+    /** Append a pre-formatted row (must match header width). */
+    void addRow(std::vector<std::string> cells);
+
+    /**
+     * Append a row given a label plus numeric values, formatted to
+     * `places` decimals.
+     */
+    void addRow(const std::string &label,
+                const std::vector<double> &values, int places = 3);
+
+    /** Render with padding and a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string (tests). */
+    std::string toString() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gaia
+
+#endif // GAIA_COMMON_TABLE_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Simulation time primitives.
+ *
+ * GAIA measures simulation time in integer seconds from the start of
+ * the input traces (t = 0). Carbon-intensity traces are hourly, so
+ * most scheduling math happens on hour slots; jobs, however, arrive
+ * and run with second resolution.
+ *
+ * A simulated year is modelled as 365 days. Calendar helpers
+ * (month-of-year, hour-of-day) are derived from that convention and
+ * exist for reporting (e.g., monthly mean carbon intensity) rather
+ * than for any wall-clock correspondence.
+ */
+
+#ifndef GAIA_COMMON_TIME_H
+#define GAIA_COMMON_TIME_H
+
+#include <cstdint>
+#include <string>
+
+namespace gaia {
+
+/** Simulation time / durations, in seconds. */
+using Seconds = std::int64_t;
+
+/** Index of an hourly slot in a carbon-intensity trace. */
+using SlotIndex = std::int64_t;
+
+constexpr Seconds kSecondsPerMinute = 60;
+constexpr Seconds kSecondsPerHour = 3600;
+constexpr Seconds kSecondsPerDay = 24 * kSecondsPerHour;
+constexpr Seconds kSecondsPerWeek = 7 * kSecondsPerDay;
+constexpr Seconds kDaysPerYear = 365;
+constexpr Seconds kSecondsPerYear = kDaysPerYear * kSecondsPerDay;
+constexpr Seconds kHoursPerYear = kDaysPerYear * 24;
+
+/** Convenience literal-style constructors. */
+constexpr Seconds
+minutes(double m)
+{
+    return static_cast<Seconds>(m * kSecondsPerMinute);
+}
+
+constexpr Seconds
+hours(double h)
+{
+    return static_cast<Seconds>(h * kSecondsPerHour);
+}
+
+constexpr Seconds
+days(double d)
+{
+    return static_cast<Seconds>(d * kSecondsPerDay);
+}
+
+/** Convert a duration in seconds to fractional hours. */
+constexpr double
+toHours(Seconds s)
+{
+    return static_cast<double>(s) / kSecondsPerHour;
+}
+
+/** Hourly slot containing time `t` (floor; negative t unsupported). */
+SlotIndex slotOf(Seconds t);
+
+/** Start time of hourly slot `slot`. */
+Seconds slotStart(SlotIndex slot);
+
+/** First slot boundary at or after `t`. */
+Seconds nextSlotBoundary(Seconds t);
+
+/** Hour of day in [0, 24) for time `t`. */
+int hourOfDay(Seconds t);
+
+/** Day index since trace start for time `t`. */
+std::int64_t dayOf(Seconds t);
+
+/**
+ * Month of year in [0, 12) for time `t`, under a 365-day year with
+ * standard (non-leap) month lengths.
+ */
+int monthOf(Seconds t);
+
+/** Three-letter month name for month index in [0, 12). */
+std::string monthName(int month);
+
+/** Human-readable rendering, e.g. "2d 03h 15m 00s". */
+std::string formatDuration(Seconds s);
+
+} // namespace gaia
+
+#endif // GAIA_COMMON_TIME_H

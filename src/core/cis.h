@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Carbon Information Service (CIS).
+ *
+ * GAIA's policies never touch raw traces: they consult a CIS — the
+ * stand-in for third-party services such as ElectricityMaps — for
+ * the current carbon intensity and for forecasts over the scheduling
+ * window. The paper assumes perfect forecasts (citing their high
+ * accuracy); the CIS therefore defaults to returning trace truth,
+ * but supports a configurable multiplicative forecast error so the
+ * sensitivity can be studied (see the forecast-noise ablation
+ * bench). Accounting always uses the true trace.
+ */
+
+#ifndef GAIA_CORE_CIS_H
+#define GAIA_CORE_CIS_H
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "trace/carbon_trace.h"
+#include "trace/forecast.h"
+
+namespace gaia {
+
+/**
+ * Forecast-capable view over a carbon trace.
+ *
+ * Forecast noise is deterministic per (slot, seed): repeated queries
+ * of the same future slot return the same perturbed value, like a
+ * real forecast product would within one forecast generation. The
+ * slot containing "now" is always exact (it is a measurement, not a
+ * forecast).
+ */
+class CarbonInfoService
+{
+  public:
+    /**
+     * @param trace          ground-truth hourly intensity
+     * @param forecast_noise stddev of multiplicative forecast error
+     *                       (0 = perfect forecasts, the default)
+     * @param seed           noise stream selector
+     */
+    explicit CarbonInfoService(const CarbonTrace &trace,
+                               double forecast_noise = 0.0,
+                               std::uint64_t seed = 0);
+
+    /**
+     * Model-backed CIS: future slots are answered by `forecaster`
+     * (e.g. PersistenceForecaster) while the current slot stays
+     * measured and accounting stays on the true trace. The
+     * forecaster must outlive this service.
+     */
+    CarbonInfoService(const CarbonTrace &trace,
+                      const CarbonForecaster &forecaster);
+
+    const CarbonTrace &trace() const { return trace_; }
+    double forecastNoise() const { return noise_; }
+    bool usesForecastModel() const
+    {
+        return forecaster_ != nullptr;
+    }
+
+    /** Measured intensity at instant `t` (always exact). */
+    double intensityAt(Seconds t) const;
+
+    /** Forecast intensity of hourly slot `slot` as seen at `now`. */
+    double forecastAtSlot(Seconds now, SlotIndex slot) const;
+
+    /**
+     * Forecast of the intensity-time integral over [from, to) as
+     * seen from `now`, in (g/kWh)·seconds.
+     */
+    double forecastIntegrate(Seconds now, Seconds from,
+                             Seconds to) const;
+
+    /**
+     * Forecast slot with minimum intensity within [from, to), ties
+     * broken toward the earliest slot.
+     */
+    SlotIndex forecastMinSlot(Seconds now, Seconds from,
+                              Seconds to) const;
+
+    /**
+     * Forecast p-th percentile of slot intensities over [from, to)
+     * (Ecovisor's threshold input).
+     */
+    double forecastPercentile(Seconds now, Seconds from, Seconds to,
+                              double p) const;
+
+  private:
+    /** Deterministic multiplicative error factor for `slot`. */
+    double noiseFactor(SlotIndex slot) const;
+
+    const CarbonTrace &trace_;
+    double noise_;
+    std::uint64_t seed_;
+    const CarbonForecaster *forecaster_ = nullptr;
+};
+
+} // namespace gaia
+
+#endif // GAIA_CORE_CIS_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Policy extensions beyond the paper's Table 1.
+ *
+ * The paper's GAIA scheduler is restricted to uninterruptible
+ * execution and names suspend-resume support as future work (§4.1):
+ * suspension can deepen carbon savings at the price of longer
+ * completions. The existing suspend-resume baselines are either
+ * length-oracles (Wait Awhile) or performance-oblivious (Ecovisor,
+ * which pauses for *any* saving until its budget dies). AdaptiveSR
+ * is the GAIA-flavoured middle ground: an online suspend-resume
+ * rule that needs no length knowledge and spends its waiting budget
+ * progressively — picky while the budget is fresh, increasingly
+ * permissive as it drains — so the tail of the waiting distribution
+ * shrinks while most of the suspension savings survive.
+ */
+
+#ifndef GAIA_CORE_EXTENSIONS_H
+#define GAIA_CORE_EXTENSIONS_H
+
+#include "core/policy.h"
+
+namespace gaia {
+
+/**
+ * Adaptive suspend-resume (extension; not part of the paper).
+ *
+ * Like Ecovisor, the job runs whenever the current slot's intensity
+ * is below a threshold within the next-24 h distribution — but the
+ * threshold percentile relaxes linearly from `initial_percentile`
+ * to 100 as the accumulated waiting approaches the queue's budget
+ * W, guaranteeing the same W bound with a gentler endgame than
+ * Ecovisor's hard cliff.
+ */
+class AdaptiveSRPolicy final : public SchedulingPolicy
+{
+  public:
+    explicit AdaptiveSRPolicy(double initial_percentile = 30.0);
+
+    std::string name() const override { return "Adaptive-SR"; }
+    bool carbonAware() const override { return true; }
+    bool performanceAware() const override { return true; }
+    bool suspendResume() const override { return true; }
+    SchedulePlan plan(const Job &job,
+                      const PlanContext &ctx) const override;
+
+  private:
+    double initial_percentile_;
+};
+
+} // namespace gaia
+
+#endif // GAIA_CORE_EXTENSIONS_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Scheduling policy interface.
+ *
+ * A policy decides *when* a job computes: it maps an arriving job to
+ * a SchedulePlan whose first segment starts within the queue's
+ * waiting window [t, t+W]. Policies differ in what they may know
+ * (exact length, queue-wide average, or nothing) and what they
+ * optimize (nothing, carbon, or carbon-per-completion-time); the
+ * capability flags reproduce the paper's Table 1.
+ *
+ * Plans must cover the job's true length so the simulator can
+ * execute them — but a policy may only *use* the length when
+ * knowsJobLength() is true (Wait Awhile); others act on the
+ * queue-wide average or purely online rules, exactly as in the
+ * paper.
+ */
+
+#ifndef GAIA_CORE_POLICY_H
+#define GAIA_CORE_POLICY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cis.h"
+#include "core/queues.h"
+#include "core/schedule.h"
+#include "workload/job.h"
+
+namespace gaia {
+
+/** Everything a policy may consult when planning one job. */
+struct PlanContext
+{
+    /** Decision instant; equals the job's submit time. */
+    Seconds now = 0;
+    /** Carbon information service (forecasts). */
+    const CarbonInfoService *cis = nullptr;
+    /** The job's queue (provides W, J^max, J_avg). */
+    const QueueSpec *queue = nullptr;
+};
+
+/** What a policy knows about job lengths (Table 1, "Job Length"). */
+enum class LengthKnowledge
+{
+    None,         ///< no length information at all
+    QueueAverage, ///< historical queue-wide average J_avg
+    Exact,        ///< the job's true length (Wait Awhile only)
+};
+
+/** Abstract scheduling policy. */
+class SchedulingPolicy
+{
+  public:
+    virtual ~SchedulingPolicy() = default;
+
+    /** Canonical policy name (as used in the paper's figures). */
+    virtual std::string name() const = 0;
+
+    /** Length information the policy consumes. */
+    virtual LengthKnowledge lengthKnowledge() const
+    {
+        return LengthKnowledge::None;
+    }
+
+    /** True when the policy optimizes carbon. */
+    virtual bool carbonAware() const { return false; }
+
+    /** True when the policy also weighs the performance penalty. */
+    virtual bool performanceAware() const { return false; }
+
+    /** True when plans may suspend and resume execution. */
+    virtual bool suspendResume() const { return false; }
+
+    /**
+     * Plan `job`'s execution. The returned plan's first segment
+     * starts within [ctx.now, ctx.now + ctx.queue->max_wait] and its
+     * segments sum to job.length.
+     */
+    virtual SchedulePlan plan(const Job &job,
+                              const PlanContext &ctx) const = 0;
+
+  protected:
+    /**
+     * Candidate start times for start-time policies: `now` plus each
+     * hourly boundary in (now, now + max_wait]. With hourly
+     * piecewise-constant intensity, the carbon objectives are
+     * piecewise-linear in the start offset, so boundary candidates
+     * contain an optimum up to intra-slot ties; `granularity`
+     * (seconds, 0 = hourly boundaries only) adds finer candidates
+     * for the slot-granularity ablation.
+     */
+    static std::vector<Seconds>
+    candidateStarts(Seconds now, Seconds max_wait,
+                    Seconds granularity = 0);
+};
+
+/** Owning policy handle. */
+using PolicyPtr = std::unique_ptr<SchedulingPolicy>;
+
+} // namespace gaia
+
+#endif // GAIA_CORE_POLICY_H

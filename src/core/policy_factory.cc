@@ -1,0 +1,62 @@
+#include "core/policy_factory.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/policies.h"
+
+namespace gaia {
+
+PolicyPtr
+makePolicy(const std::string &name)
+{
+    const std::string key = toLower(name);
+    if (key == "nowait")
+        return std::make_unique<NoWaitPolicy>();
+    if (key == "allwait-threshold" || key == "allwait")
+        return std::make_unique<AllWaitThresholdPolicy>();
+    if (key == "wait-awhile" || key == "waitawhile")
+        return std::make_unique<WaitAwhilePolicy>();
+    if (key == "ecovisor")
+        return std::make_unique<EcovisorPolicy>();
+    if (key == "lowest-slot")
+        return std::make_unique<LowestSlotPolicy>();
+    if (key == "lowest-window")
+        return std::make_unique<LowestWindowPolicy>();
+    if (key == "carbon-time")
+        return std::make_unique<CarbonTimePolicy>();
+    fatal("unknown policy '", name, "'");
+}
+
+std::vector<std::string>
+allPolicyNames()
+{
+    return {"NoWait",      "AllWait-Threshold", "Wait-Awhile",
+            "Ecovisor",    "Lowest-Slot",       "Lowest-Window",
+            "Carbon-Time"};
+}
+
+PolicyCapabilities
+describePolicy(const SchedulingPolicy &policy)
+{
+    PolicyCapabilities caps;
+    caps.name = policy.name();
+    const char *job_length = "-";
+    switch (policy.lengthKnowledge()) {
+      case LengthKnowledge::None:
+        job_length = "-";
+        break;
+      case LengthKnowledge::QueueAverage:
+        job_length = "J_avg";
+        break;
+      case LengthKnowledge::Exact:
+        job_length = "Yes";
+        break;
+    }
+    caps.job_length = job_length;
+    caps.carbon_aware = policy.carbonAware();
+    caps.performance_aware = policy.performanceAware();
+    caps.suspend_resume = policy.suspendResume();
+    return caps;
+}
+
+} // namespace gaia

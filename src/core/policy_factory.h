@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Policy construction by name and the Table 1 capability summary.
+ */
+
+#ifndef GAIA_CORE_POLICY_FACTORY_H
+#define GAIA_CORE_POLICY_FACTORY_H
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace gaia {
+
+/**
+ * Construct a policy by canonical name: "NoWait",
+ * "AllWait-Threshold", "Wait-Awhile", "Ecovisor", "Lowest-Slot",
+ * "Lowest-Window", or "Carbon-Time" (case-insensitive). fatal() on
+ * unknown names.
+ */
+PolicyPtr makePolicy(const std::string &name);
+
+/** Canonical names of every available policy, Table 1 order. */
+std::vector<std::string> allPolicyNames();
+
+/** One row of the paper's Table 1. */
+struct PolicyCapabilities
+{
+    std::string name;
+    std::string job_length;  ///< "-", "J_avg", or "Yes" (exact)
+    bool carbon_aware = false;
+    bool performance_aware = false;
+    bool suspend_resume = false;
+};
+
+/** Capability summary for `policy` (drives table1 bench). */
+PolicyCapabilities describePolicy(const SchedulingPolicy &policy);
+
+} // namespace gaia
+
+#endif // GAIA_CORE_POLICY_FACTORY_H

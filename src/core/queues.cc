@@ -1,0 +1,117 @@
+#include "core/queues.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gaia {
+
+Seconds
+QueueSpec::effectiveAvgLength() const
+{
+    if (avg_length > 0)
+        return avg_length;
+    return std::max<Seconds>(max_length / 2, kSecondsPerMinute);
+}
+
+QueueConfig::QueueConfig(std::vector<QueueSpec> queues)
+    : queues_(std::move(queues))
+{
+    if (queues_.empty())
+        fatal("queue config needs at least one queue");
+    std::stable_sort(queues_.begin(), queues_.end(),
+                     [](const QueueSpec &a, const QueueSpec &b) {
+                         return a.max_length < b.max_length;
+                     });
+    for (const QueueSpec &q : queues_) {
+        if (q.max_length <= 0)
+            fatal("queue '", q.name, "' has non-positive bound");
+        if (q.max_wait < 0)
+            fatal("queue '", q.name, "' has negative max wait");
+    }
+}
+
+const QueueSpec &
+QueueConfig::queue(std::size_t i) const
+{
+    GAIA_ASSERT(i < queues_.size(), "queue index out of range: ", i);
+    return queues_[i];
+}
+
+std::size_t
+QueueConfig::queueIndexFor(Seconds job_length) const
+{
+    GAIA_ASSERT(job_length > 0, "non-positive job length");
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        if (job_length <= queues_[i].max_length)
+            return i;
+    }
+    return queues_.size() - 1; // catch-all
+}
+
+const QueueSpec &
+QueueConfig::queueFor(Seconds job_length) const
+{
+    return queues_[queueIndexFor(job_length)];
+}
+
+const QueueSpec &
+QueueConfig::queueForJob(const Job &job) const
+{
+    if (job.queue_hint >= 0) {
+        const auto idx = static_cast<std::size_t>(job.queue_hint);
+        GAIA_ASSERT(idx < queues_.size(), "job ", job.id,
+                    " names queue ", job.queue_hint, " of ",
+                    queues_.size());
+        return queues_[idx];
+    }
+    return queueFor(job.length);
+}
+
+Seconds
+QueueConfig::maxWait() const
+{
+    Seconds w = 0;
+    for (const QueueSpec &q : queues_)
+        w = std::max(w, q.max_wait);
+    return w;
+}
+
+Seconds
+QueueConfig::maxLength() const
+{
+    Seconds l = 0;
+    for (const QueueSpec &q : queues_)
+        l = std::max(l, q.max_length);
+    return l;
+}
+
+void
+QueueConfig::calibrateAverages(const JobTrace &trace)
+{
+    std::vector<double> sums(queues_.size(), 0.0);
+    std::vector<std::size_t> counts(queues_.size(), 0);
+    for (const Job &j : trace.jobs()) {
+        const std::size_t q = queueIndexFor(j.length);
+        sums[q] += static_cast<double>(j.length);
+        ++counts[q];
+    }
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        if (counts[i] > 0) {
+            queues_[i].avg_length = static_cast<Seconds>(
+                sums[i] / static_cast<double>(counts[i]));
+        }
+    }
+}
+
+QueueConfig
+QueueConfig::standardShortLong(Seconds short_wait, Seconds long_wait,
+                               Seconds short_bound, Seconds long_bound)
+{
+    return QueueConfig({
+        {"short", short_bound, short_wait, 0},
+        {"long", long_bound, long_wait, 0},
+    });
+}
+
+} // namespace gaia

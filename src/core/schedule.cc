@@ -1,0 +1,101 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace gaia {
+
+SchedulePlan::SchedulePlan(Seconds start, Seconds length)
+    : segments_{{start, start + length}}
+{
+    validate();
+}
+
+SchedulePlan::SchedulePlan(std::vector<RunSegment> segments)
+    : segments_(mergeSegments(std::move(segments)))
+{
+    validate();
+}
+
+void
+SchedulePlan::validate() const
+{
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        const RunSegment &s = segments_[i];
+        GAIA_ASSERT(s.start >= 0, "segment starts before t=0");
+        GAIA_ASSERT(s.end > s.start, "empty or inverted segment [",
+                    s.start, ", ", s.end, ")");
+        if (i > 0) {
+            GAIA_ASSERT(s.start > segments_[i - 1].end,
+                        "segments overlap or touch after merging");
+        }
+    }
+}
+
+const RunSegment &
+SchedulePlan::segment(std::size_t i) const
+{
+    GAIA_ASSERT(i < segments_.size(), "segment index out of range");
+    return segments_[i];
+}
+
+Seconds
+SchedulePlan::plannedStart() const
+{
+    GAIA_ASSERT(!segments_.empty(), "plannedStart of empty plan");
+    return segments_.front().start;
+}
+
+Seconds
+SchedulePlan::plannedEnd() const
+{
+    GAIA_ASSERT(!segments_.empty(), "plannedEnd of empty plan");
+    return segments_.back().end;
+}
+
+Seconds
+SchedulePlan::totalRunTime() const
+{
+    Seconds total = 0;
+    for (const RunSegment &s : segments_)
+        total += s.duration();
+    return total;
+}
+
+std::string
+SchedulePlan::toString() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        if (i > 0)
+            oss << " + ";
+        oss << "[" << segments_[i].start << ", " << segments_[i].end
+            << ")";
+    }
+    return oss.str();
+}
+
+std::vector<RunSegment>
+mergeSegments(std::vector<RunSegment> segments)
+{
+    std::sort(segments.begin(), segments.end(),
+              [](const RunSegment &a, const RunSegment &b) {
+                  return a.start < b.start;
+              });
+    std::vector<RunSegment> merged;
+    for (const RunSegment &s : segments) {
+        if (!merged.empty() && s.start <= merged.back().end) {
+            GAIA_ASSERT(s.start >= merged.back().end,
+                        "overlapping plan segments: ", s.start,
+                        " < ", merged.back().end);
+            merged.back().end = std::max(merged.back().end, s.end);
+        } else {
+            merged.push_back(s);
+        }
+    }
+    return merged;
+}
+
+} // namespace gaia

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Execution plans produced by scheduling policies.
+ *
+ * A SchedulePlan is a sorted, non-overlapping list of execution
+ * segments whose durations sum to the job's length. Start-time
+ * policies emit one segment; suspend-resume policies (Wait Awhile,
+ * Ecovisor) emit several. Placement (reserved / on-demand / spot) is
+ * decided later by the simulator's resource strategy — a plan only
+ * fixes *when* the job computes.
+ */
+
+#ifndef GAIA_CORE_SCHEDULE_H
+#define GAIA_CORE_SCHEDULE_H
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace gaia {
+
+/** Half-open execution interval [start, end). */
+struct RunSegment
+{
+    Seconds start = 0;
+    Seconds end = 0;
+
+    Seconds duration() const { return end - start; }
+};
+
+/** A policy's timing decision for one job. */
+class SchedulePlan
+{
+  public:
+    SchedulePlan() = default;
+
+    /** Single-segment convenience constructor. */
+    SchedulePlan(Seconds start, Seconds length);
+
+    /** Multi-segment constructor; segments are merged when adjacent
+     *  and validated (sorted, non-overlapping, positive length). */
+    explicit SchedulePlan(std::vector<RunSegment> segments);
+
+    bool empty() const { return segments_.empty(); }
+    std::size_t segmentCount() const { return segments_.size(); }
+    const std::vector<RunSegment> &segments() const
+    {
+        return segments_;
+    }
+    const RunSegment &segment(std::size_t i) const;
+
+    /** When execution first begins. */
+    Seconds plannedStart() const;
+
+    /** When execution finally completes. */
+    Seconds plannedEnd() const;
+
+    /** Total planned compute time across segments. */
+    Seconds totalRunTime() const;
+
+    /** True for suspend-resume plans (more than one segment). */
+    bool isSuspendResume() const { return segments_.size() > 1; }
+
+    /** Debug rendering, e.g. "[100, 400) + [700, 800)". */
+    std::string toString() const;
+
+  private:
+    void validate() const;
+
+    std::vector<RunSegment> segments_;
+};
+
+/**
+ * Merge chronologically sorted intervals, coalescing abutting ones;
+ * helper shared by the suspend-resume policies.
+ */
+std::vector<RunSegment>
+mergeSegments(std::vector<RunSegment> segments);
+
+} // namespace gaia
+
+#endif // GAIA_CORE_SCHEDULE_H

@@ -1,0 +1,67 @@
+#include "sim/cluster.h"
+
+#include "common/logging.h"
+
+namespace gaia {
+
+std::string
+strategyName(ResourceStrategy strategy)
+{
+    switch (strategy) {
+      case ResourceStrategy::OnDemandOnly:
+        return "OnDemand";
+      case ResourceStrategy::HybridGreedy:
+        return "Hybrid";
+      case ResourceStrategy::ReservedFirst:
+        return "RES-First";
+      case ResourceStrategy::SpotFirst:
+        return "Spot-First";
+      case ResourceStrategy::SpotReserved:
+        return "Spot-RES";
+    }
+    panic("unknown resource strategy");
+}
+
+void
+ClusterConfig::validate() const
+{
+    if (reserved_cores < 0)
+        fatal("negative reserved core count ", reserved_cores);
+    pricing.validate();
+    if (energy.watts_per_core < 0.0)
+        fatal("negative per-core power ", energy.watts_per_core);
+    if (spot_eviction_rate < 0.0 || spot_eviction_rate > 1.0)
+        fatal("spot eviction rate out of [0,1]: ",
+              spot_eviction_rate);
+    if (spot_max_length < 0)
+        fatal("negative spot length bound ", spot_max_length);
+    if (startup_overhead < 0)
+        fatal("negative startup overhead ", startup_overhead);
+    if (reserved_idle_power_fraction < 0.0 ||
+        reserved_idle_power_fraction > 1.0) {
+        fatal("idle power fraction out of [0,1]: ",
+              reserved_idle_power_fraction);
+    }
+    if (reservation_horizon < 0)
+        fatal("negative reservation horizon ", reservation_horizon);
+}
+
+Seconds
+defaultReservationHorizon(const JobTrace &trace,
+                          const QueueConfig &queues)
+{
+    // busyHorizon covers the last arrival plus one full job length;
+    // a second max-length allowance covers the worst case of a spot
+    // eviction at the end of an almost-finished run being restarted
+    // from scratch.
+    const Seconds max_length =
+        trace.busyHorizon() - trace.lastArrival();
+    const Seconds busy =
+        trace.busyHorizon() + queues.maxWait() + max_length;
+    const Seconds day_aligned =
+        ((busy + kSecondsPerDay - 1) / kSecondsPerDay) *
+        kSecondsPerDay;
+    return std::max(day_aligned, kSecondsPerDay);
+}
+
+} // namespace gaia

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Cluster configuration and resource-placement strategies.
+ *
+ * A scheduling policy fixes *when* a job computes; the resource
+ * strategy fixes *where* — which purchase option backs each
+ * execution segment — reproducing the paper's policy variants:
+ * plain X, RES-First-X, Spot-First-X, and Spot-RES-X.
+ */
+
+#ifndef GAIA_SIM_CLUSTER_H
+#define GAIA_SIM_CLUSTER_H
+
+#include <cstdint>
+#include <string>
+
+#include "cloud/pricing.h"
+#include "common/time.h"
+#include "core/queues.h"
+#include "workload/job.h"
+
+namespace gaia {
+
+/** How execution segments are mapped onto purchase options. */
+enum class ResourceStrategy
+{
+    /**
+     * Pure on-demand cluster (requires zero reserved cores) — the
+     * setting of the paper's Figure 8.
+     */
+    OnDemandOnly,
+    /**
+     * Follow the plan exactly; back each segment with a reserved
+     * core when one is free at that instant, on-demand otherwise.
+     * This is the default hybrid behaviour (and what suspend-resume
+     * policies get in hybrid clusters).
+     */
+    HybridGreedy,
+    /**
+     * The paper's work-conserving RES-First-X: start immediately on
+     * arrival if reserved cores are free; otherwise wait for
+     * min(planned start, first reserved availability); at the
+     * planned start with no reserved capacity, fall back to
+     * on-demand. Suspend-resume plans degrade to HybridGreedy.
+     */
+    ReservedFirst,
+    /**
+     * The paper's Spot-First-X: jobs short enough for the spot bound
+     * run on spot at their planned times and restart on on-demand
+     * (or a free reserved core) when evicted; longer jobs follow
+     * HybridGreedy.
+     */
+    SpotFirst,
+    /**
+     * The paper's Spot-RES-X: short jobs follow SpotFirst, long jobs
+     * follow ReservedFirst.
+     */
+    SpotReserved,
+};
+
+/** Display name, e.g. "RES-First". */
+std::string strategyName(ResourceStrategy strategy);
+
+/** Static description of the simulated cluster. */
+struct ClusterConfig
+{
+    /** Size of the pre-paid reserved pool, in cores. */
+    int reserved_cores = 0;
+    /** Price structure across purchase options. */
+    PricingModel pricing;
+    /** Power model for carbon/energy accounting. */
+    EnergyModel energy;
+    /** Spot per-hour eviction probability in [0, 1]. */
+    double spot_eviction_rate = 0.0;
+    /**
+     * Longest job admitted to spot instances (the paper's J^max
+     * "scheduled on spot"); 0 disables spot entirely.
+     */
+    Seconds spot_max_length = 2 * kSecondsPerHour;
+    /**
+     * Instance initiation/termination overhead charged per
+     * on-demand or spot acquisition (i.e. per non-reserved
+     * execution segment). The paper's AWS prototype accounts "the
+     * entire instance time, including initiation and termination";
+     * its simulator neglects it (0, the default). Overhead time is
+     * billed at the segment's rate and consumes energy/carbon at
+     * the pre-start intensity, but performs no useful work — which
+     * is precisely what penalizes suspend-resume fragmentation.
+     */
+    Seconds startup_overhead = 0;
+    /**
+     * Reservation contract horizon for the upfront cost; 0 derives
+     * a trace-dependent default (see defaultReservationHorizon).
+     * Experiments comparing policies must share one horizon.
+     */
+    Seconds reservation_horizon = 0;
+    /**
+     * Power drawn by an *idle* reserved core as a fraction of its
+     * busy power. The paper assumes reserved instances are turned
+     * off when idle (0, the default); real fleets often keep them
+     * warm, in which case carbon-aware demand concentration leaves
+     * idle reserved capacity burning energy during the very
+     * high-carbon periods it avoided — a head-wind this knob
+     * quantifies (see ablation_idle_power).
+     */
+    double reserved_idle_power_fraction = 0.0;
+    /** Seed for eviction sampling. */
+    std::uint64_t seed = 42;
+
+    /** fatal() on inconsistent settings. */
+    void validate() const;
+};
+
+/**
+ * Deterministic reservation horizon covering any schedule the given
+ * trace and queue limits can produce: the busy horizon plus the
+ * maximum waiting time, rounded up to whole days.
+ */
+Seconds defaultReservationHorizon(const JobTrace &trace,
+                                  const QueueConfig &queues);
+
+} // namespace gaia
+
+#endif // GAIA_SIM_CLUSTER_H

@@ -1,0 +1,62 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gaia {
+
+void
+EventQueue::schedule(Seconds when, Handler handler)
+{
+    schedule(when, 1, std::move(handler));
+}
+
+void
+EventQueue::schedule(Seconds when, int priority, Handler handler)
+{
+    GAIA_ASSERT(when >= now_, "scheduling into the past: ", when,
+                " < ", now_);
+    GAIA_ASSERT(handler != nullptr, "null event handler");
+    heap_.push(
+        Event{when, priority, next_seq_++, std::move(handler)});
+}
+
+bool
+EventQueue::runNext()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; the handler must be moved out
+    // before pop, so copy the cheap fields and steal the closure.
+    Event event = std::move(const_cast<Event &>(heap_.top()));
+    heap_.pop();
+    now_ = event.time;
+    event.handler();
+    return true;
+}
+
+void
+EventQueue::runAll()
+{
+    while (runNext()) {
+    }
+}
+
+void
+EventQueue::runUntil(Seconds until)
+{
+    GAIA_ASSERT(until >= now_, "runUntil into the past: ", until,
+                " < ", now_);
+    while (!heap_.empty() && heap_.top().time <= until)
+        runNext();
+    now_ = until;
+}
+
+Seconds
+EventQueue::nextEventTime() const
+{
+    return heap_.empty() ? -1 : heap_.top().time;
+}
+
+} // namespace gaia

@@ -1,0 +1,556 @@
+#include "sim/online.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gaia {
+
+OnlineScheduler::OnlineScheduler(const SchedulingPolicy &policy,
+                                 const QueueConfig &queues,
+                                 const CarbonInfoService &cis,
+                                 const ClusterConfig &cluster,
+                                 ResourceStrategy strategy,
+                                 std::string workload)
+    : policy_(policy),
+      queues_(queues),
+      cis_(cis),
+      cluster_(cluster),
+      strategy_(strategy),
+      workload_(std::move(workload)),
+      pool_(cluster.reserved_cores),
+      eviction_(cluster.spot_eviction_rate),
+      rng_(cluster.seed)
+{
+    cluster_.validate();
+    if (strategy_ == ResourceStrategy::OnDemandOnly &&
+        cluster_.reserved_cores != 0) {
+        fatal("OnDemandOnly strategy with ", cluster_.reserved_cores,
+              " reserved cores; use HybridGreedy or ReservedFirst");
+    }
+    horizon_ = cluster_.reservation_horizon; // 0 = derive later
+}
+
+bool
+OnlineScheduler::usesReserved() const
+{
+    return strategy_ != ResourceStrategy::OnDemandOnly &&
+           cluster_.reserved_cores > 0;
+}
+
+bool
+OnlineScheduler::spotEnabled() const
+{
+    return (strategy_ == ResourceStrategy::SpotFirst ||
+            strategy_ == ResourceStrategy::SpotReserved) &&
+           cluster_.spot_max_length > 0;
+}
+
+void
+OnlineScheduler::submit(const Job &job)
+{
+    GAIA_ASSERT(!finalized_, "submit() after finalize()");
+    if (job.submit < events_.now()) {
+        fatal("job ", job.id, " submitted at ", job.submit,
+              " but simulation time is already ", events_.now());
+    }
+    const std::size_t idx = states_.size();
+    states_.emplace_back();
+    states_[idx].job = job;
+    states_[idx].outcome.id = job.id;
+    states_[idx].outcome.submit = job.submit;
+    states_[idx].outcome.length = job.length;
+    states_[idx].outcome.cpus = job.cpus;
+    // Priority 0: arrivals at a timestamp run before same-instant
+    // releases/starts, so batch and incremental feeding agree.
+    events_.schedule(job.submit, /*priority=*/0,
+                     [this, idx] { onArrival(idx); });
+}
+
+void
+OnlineScheduler::advanceTo(Seconds t)
+{
+    GAIA_ASSERT(!finalized_, "advanceTo() after finalize()");
+    events_.runUntil(t);
+}
+
+void
+OnlineScheduler::drain()
+{
+    GAIA_ASSERT(!finalized_, "drain() after finalize()");
+    events_.runAll();
+}
+
+void
+OnlineScheduler::onArrival(std::size_t idx)
+{
+    JobState &state = states_[idx];
+    const Job &job = state.job;
+
+    const QueueSpec &queue = queues_.queueForJob(job);
+    PlanContext ctx;
+    ctx.now = job.submit;
+    ctx.cis = &cis_;
+    ctx.queue = &queue;
+    state.plan = policy_.plan(job, ctx);
+
+    // Plan contract checks (see SchedulingPolicy::plan).
+    GAIA_ASSERT(state.plan.totalRunTime() == job.length,
+                "policy '", policy_.name(), "' planned ",
+                state.plan.totalRunTime(), "s for a ", job.length,
+                "s job");
+    GAIA_ASSERT(state.plan.plannedStart() >= job.submit,
+                "plan starts before submission");
+    GAIA_ASSERT(state.plan.plannedStart() <=
+                    job.submit + queue.max_wait,
+                "plan start violates the waiting bound W");
+
+    state.outcome.carbon_nowait_g = cis_.trace().gramsFor(
+        job.submit, job.submit + job.length,
+        cluster_.energy.kilowatts(job.cpus));
+
+    state.spot_eligible =
+        spotEnabled() && job.length <= cluster_.spot_max_length;
+
+    dispatch(idx);
+}
+
+void
+OnlineScheduler::dispatch(std::size_t idx)
+{
+    JobState &state = states_[idx];
+    const Job &job = state.job;
+    const Seconds at = events_.now();
+
+    switch (strategy_) {
+      case ResourceStrategy::OnDemandOnly:
+      case ResourceStrategy::HybridGreedy:
+        followPlan(idx, /*on_spot=*/false);
+        return;
+
+      case ResourceStrategy::SpotFirst:
+        followPlan(idx, /*on_spot=*/state.spot_eligible);
+        return;
+
+      case ResourceStrategy::ReservedFirst:
+      case ResourceStrategy::SpotReserved:
+        if (strategy_ == ResourceStrategy::SpotReserved &&
+            state.spot_eligible) {
+            followPlan(idx, /*on_spot=*/true);
+            return;
+        }
+        // Suspend-resume plans are not work-conserving: they follow
+        // their segment schedule with greedy placement.
+        if (state.plan.isSuspendResume()) {
+            followPlan(idx, /*on_spot=*/false);
+            return;
+        }
+        // Work-conserving: run immediately when reserved capacity
+        // is free, even if the policy preferred to wait.
+        if (pool_.canFit(job.cpus)) {
+            startOnReserved(idx, at);
+            return;
+        }
+        state.pending = true;
+        pending_.emplace(state.plan.plannedStart(), idx);
+        events_.schedule(state.plan.plannedStart(),
+                         [this, idx] { onPlannedStart(idx); });
+        return;
+    }
+    panic("unknown resource strategy");
+}
+
+void
+OnlineScheduler::followPlan(std::size_t idx, bool on_spot)
+{
+    JobState &state = states_[idx];
+    state.started = true;
+    for (std::size_t s = 0; s < state.plan.segmentCount(); ++s) {
+        const Seconds at = state.plan.segment(s).start;
+        if (on_spot) {
+            events_.schedule(
+                at, [this, idx, s] { placeSpotSegment(idx, s); });
+        } else {
+            events_.schedule(at,
+                             [this, idx, s] { placeSegment(idx, s); });
+        }
+    }
+}
+
+void
+OnlineScheduler::placeSegment(std::size_t idx, std::size_t seg_idx)
+{
+    JobState &state = states_[idx];
+    if (state.aborted)
+        return; // plan superseded by an eviction restart
+    const RunSegment &seg = state.plan.segment(seg_idx);
+    const int cpus = state.job.cpus;
+    const Seconds at = events_.now();
+    GAIA_ASSERT(at == seg.start, "segment event fired at ", at,
+                " for a segment starting at ", seg.start);
+
+    if (strategy_ != ResourceStrategy::OnDemandOnly &&
+        pool_.canFit(cpus)) {
+        pool_.acquire(cpus, at);
+        recordSegment(idx, seg.start, seg.end,
+                      PurchaseOption::Reserved, /*lost=*/false);
+        events_.schedule(seg.end, [this, cpus] {
+            pool_.release(cpus, events_.now());
+            drainPending();
+        });
+    } else {
+        recordSegment(idx, seg.start, seg.end,
+                      PurchaseOption::OnDemand, /*lost=*/false);
+    }
+}
+
+void
+OnlineScheduler::placeSpotSegment(std::size_t idx,
+                                  std::size_t seg_idx)
+{
+    JobState &state = states_[idx];
+    if (state.aborted)
+        return;
+    const RunSegment &seg = state.plan.segment(seg_idx);
+    state.started = true;
+
+    const Seconds offset =
+        eviction_.sampleEvictionOffset(rng_, seg.duration());
+    if (offset < 0) {
+        recordSegment(idx, seg.start, seg.end, PurchaseOption::Spot,
+                      /*lost=*/false);
+        return;
+    }
+
+    // Evicted: this slice (and any previously completed slices) is
+    // wasted; the paper assumes all progress is lost.
+    const Seconds evict_at = seg.start + offset;
+    if (offset > 0) {
+        recordSegment(idx, seg.start, evict_at, PurchaseOption::Spot,
+                      /*lost=*/true);
+    }
+    for (PlacedSegment &done : state.outcome.segments)
+        done.lost = true;
+    state.outcome.evictions += 1;
+    state.aborted = true;
+    events_.schedule(evict_at, [this, idx] {
+        restartAfterEviction(idx, events_.now());
+    });
+}
+
+void
+OnlineScheduler::restartAfterEviction(std::size_t idx, Seconds at)
+{
+    JobState &state = states_[idx];
+    const Job &job = state.job;
+    // Restart the full job; prefer a free reserved core, matching
+    // the paper ("on either on-demand or reserved instances based
+    // on availability"). The restart never returns to spot.
+    if (usesReserved() && pool_.canFit(job.cpus)) {
+        pool_.acquire(job.cpus, at);
+        recordSegment(idx, at, at + job.length,
+                      PurchaseOption::Reserved, /*lost=*/false);
+        const int cpus = job.cpus;
+        events_.schedule(at + job.length, [this, cpus] {
+            pool_.release(cpus, events_.now());
+            drainPending();
+        });
+    } else {
+        recordSegment(idx, at, at + job.length,
+                      PurchaseOption::OnDemand, /*lost=*/false);
+    }
+}
+
+void
+OnlineScheduler::startOnReserved(std::size_t idx, Seconds at)
+{
+    JobState &state = states_[idx];
+    const Job &job = state.job;
+    state.started = true;
+    state.pending = false;
+    pool_.acquire(job.cpus, at);
+    recordSegment(idx, at, at + job.length,
+                  PurchaseOption::Reserved, /*lost=*/false);
+    const int cpus = job.cpus;
+    events_.schedule(at + job.length, [this, cpus] {
+        pool_.release(cpus, events_.now());
+        drainPending();
+    });
+}
+
+void
+OnlineScheduler::recordSegment(std::size_t idx, Seconds from,
+                               Seconds to, PurchaseOption option,
+                               bool lost)
+{
+    GAIA_ASSERT(to > from, "empty placement [", from, ", ", to, ")");
+    JobState &state = states_[idx];
+    state.outcome.segments.push_back({from, to, option, lost});
+}
+
+void
+OnlineScheduler::onPlannedStart(std::size_t idx)
+{
+    JobState &state = states_[idx];
+    if (!state.pending)
+        return; // already started from a reserved release
+    state.pending = false;
+    // Remove from the pending index.
+    const Seconds key = state.plan.plannedStart();
+    for (auto it = pending_.lower_bound(key);
+         it != pending_.end() && it->first == key; ++it) {
+        if (it->second == idx) {
+            pending_.erase(it);
+            break;
+        }
+    }
+    // Planned start reached without reserved capacity: on-demand.
+    state.started = true;
+    const Job &job = state.job;
+    recordSegment(idx, events_.now(), events_.now() + job.length,
+                  PurchaseOption::OnDemand, /*lost=*/false);
+}
+
+void
+OnlineScheduler::drainPending()
+{
+    // Work-conserving scan in planned-start order; first-fit keeps
+    // small jobs from starving behind a wide one.
+    const Seconds at = events_.now();
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        JobState &state = states_[it->second];
+        GAIA_ASSERT(state.pending, "stale pending-queue entry");
+        if (pool_.canFit(state.job.cpus)) {
+            const std::size_t idx = it->second;
+            it = pending_.erase(it);
+            startOnReserved(idx, at);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+OnlineScheduler::finalizeInto(SimulationResult &result)
+{
+    for (JobState &state : states_) {
+        JobOutcome &o = state.outcome;
+        GAIA_ASSERT(!o.segments.empty(), "job ", o.id,
+                    " never executed");
+        std::sort(o.segments.begin(), o.segments.end(),
+                  [](const PlacedSegment &a, const PlacedSegment &b) {
+                      return a.start < b.start;
+                  });
+
+        Seconds useful = 0;
+        o.start = o.segments.front().start;
+        o.finish = 0;
+        for (const PlacedSegment &seg : o.segments) {
+            const double core_seconds =
+                static_cast<double>(seg.duration()) * o.cpus;
+            const double grams = cis_.trace().gramsFor(
+                seg.start, seg.end,
+                cluster_.energy.kilowatts(o.cpus));
+            o.carbon_g += grams;
+            result.energy_kwh +=
+                cluster_.energy.kilowattHours(core_seconds);
+
+            // Instance lifecycle overhead: each non-reserved
+            // segment is a fresh cloud acquisition whose spin-up
+            // time is billed and emits carbon without doing work.
+            double overhead_core_seconds = 0.0;
+            if (seg.option != PurchaseOption::Reserved &&
+                cluster_.startup_overhead > 0) {
+                const Seconds ov = cluster_.startup_overhead;
+                overhead_core_seconds =
+                    static_cast<double>(ov) * o.cpus;
+                const Seconds ov_from =
+                    std::max<Seconds>(seg.start - ov, 0);
+                double ov_grams = cis_.trace().gramsFor(
+                    ov_from, seg.start,
+                    cluster_.energy.kilowatts(o.cpus));
+                // Clip at t=0: charge the clipped part at the
+                // first slot's intensity.
+                const Seconds clipped = ov - (seg.start - ov_from);
+                if (clipped > 0) {
+                    ov_grams += cis_.trace().at(0) *
+                                cluster_.energy.kilowatts(o.cpus) *
+                                static_cast<double>(clipped) /
+                                static_cast<double>(kSecondsPerHour);
+                }
+                o.carbon_g += ov_grams;
+                o.overhead_core_seconds += overhead_core_seconds;
+                result.overhead_core_seconds +=
+                    overhead_core_seconds;
+                result.energy_kwh += cluster_.energy.kilowattHours(
+                    overhead_core_seconds);
+            }
+
+            switch (seg.option) {
+              case PurchaseOption::Reserved:
+                result.reserved_core_seconds += core_seconds;
+                break;
+              case PurchaseOption::OnDemand:
+                result.on_demand_core_seconds +=
+                    core_seconds + overhead_core_seconds;
+                o.variable_cost += cluster_.pricing.usageCost(
+                    PurchaseOption::OnDemand,
+                    core_seconds + overhead_core_seconds);
+                break;
+              case PurchaseOption::Spot:
+                result.spot_core_seconds +=
+                    core_seconds + overhead_core_seconds;
+                o.variable_cost += cluster_.pricing.usageCost(
+                    PurchaseOption::Spot,
+                    core_seconds + overhead_core_seconds);
+                break;
+            }
+            if (seg.lost) {
+                o.lost_core_seconds += core_seconds;
+            } else {
+                useful += seg.duration();
+                o.finish = std::max(o.finish, seg.end);
+            }
+        }
+        GAIA_ASSERT(useful == o.length, "job ", o.id, " ran ",
+                    useful, "s of useful work, expected ", o.length);
+        if (o.finish > horizon_) {
+            // Impossible under the derived horizon (it covers every
+            // schedule the queue limits admit); a user-supplied
+            // horizon can legitimately be shorter, so the books
+            // stay correct but the overrun is surfaced.
+            GAIA_ASSERT(cluster_.reservation_horizon > 0,
+                        "job ", o.id,
+                        " finished past the derived horizon");
+            if (!horizon_overrun_warned_) {
+                warn("schedule extends past the configured "
+                     "reservation horizon (job ", o.id,
+                     " finishes at ", o.finish, " > ", horizon_,
+                     "); reserved upfront cost still covers only "
+                     "the configured horizon");
+                horizon_overrun_warned_ = true;
+            }
+        }
+
+        result.carbon_kg += o.carbon_g / 1000.0;
+        result.carbon_nowait_kg += o.carbon_nowait_g / 1000.0;
+        result.lost_core_seconds += o.lost_core_seconds;
+        result.eviction_count +=
+            static_cast<std::size_t>(o.evictions);
+        result.outcomes.push_back(std::move(o));
+    }
+
+    // Split the variable cost by option from the usage totals so the
+    // per-job and cluster books agree by construction.
+    result.on_demand_cost = cluster_.pricing.usageCost(
+        PurchaseOption::OnDemand, result.on_demand_core_seconds);
+    result.spot_cost = cluster_.pricing.usageCost(
+        PurchaseOption::Spot, result.spot_core_seconds);
+
+    // Idle-reserved power draw (0 under the paper's assumption):
+    // integrate CI over the idle share of the pool slot by slot.
+    if (cluster_.reserved_cores > 0 &&
+        cluster_.reserved_idle_power_fraction > 0.0) {
+        const auto slots = static_cast<std::size_t>(
+            (horizon_ + kSecondsPerHour - 1) / kSecondsPerHour);
+        std::vector<double> busy(slots, 0.0); // core-seconds/slot
+        for (const JobOutcome &o : result.outcomes) {
+            for (const PlacedSegment &seg : o.segments) {
+                if (seg.option != PurchaseOption::Reserved)
+                    continue;
+                Seconds cursor = seg.start;
+                while (cursor < seg.end) {
+                    const auto slot = static_cast<std::size_t>(
+                        cursor / kSecondsPerHour);
+                    const Seconds slot_end =
+                        static_cast<Seconds>(slot + 1) *
+                        kSecondsPerHour;
+                    const Seconds end =
+                        std::min(slot_end, seg.end);
+                    busy[slot] +=
+                        static_cast<double>(end - cursor) *
+                        o.cpus;
+                    cursor = end;
+                }
+            }
+        }
+        const double idle_kw_per_core =
+            cluster_.energy.kilowatts(1) *
+            cluster_.reserved_idle_power_fraction;
+        for (std::size_t slot = 0; slot < slots; ++slot) {
+            const Seconds slot_start_t =
+                static_cast<Seconds>(slot) * kSecondsPerHour;
+            const Seconds slot_len = std::min<Seconds>(
+                kSecondsPerHour, horizon_ - slot_start_t);
+            const double capacity =
+                static_cast<double>(cluster_.reserved_cores) *
+                static_cast<double>(slot_len);
+            const double idle_core_seconds =
+                std::max(0.0, capacity - busy[slot]);
+            const double kwh =
+                idle_kw_per_core * idle_core_seconds /
+                static_cast<double>(kSecondsPerHour);
+            result.idle_energy_kwh += kwh;
+            result.idle_carbon_kg +=
+                kwh *
+                cis_.trace().atSlot(
+                    static_cast<SlotIndex>(slot)) /
+                1000.0;
+        }
+        result.energy_kwh += result.idle_energy_kwh;
+        result.carbon_kg += result.idle_carbon_kg;
+    }
+
+    result.reserved_cores = cluster_.reserved_cores;
+    result.horizon = horizon_;
+    result.reserved_upfront = cluster_.pricing.reservedUpfront(
+        cluster_.reserved_cores, horizon_);
+    if (cluster_.reserved_cores > 0 && horizon_ > 0) {
+        result.reserved_utilization =
+            result.reserved_core_seconds /
+            (static_cast<double>(cluster_.reserved_cores) *
+             static_cast<double>(horizon_));
+    }
+}
+
+SimulationResult
+OnlineScheduler::finalize()
+{
+    GAIA_ASSERT(!finalized_, "finalize() called twice");
+    GAIA_ASSERT(events_.empty(),
+                "finalize() with events still pending; call "
+                "drain() first");
+    GAIA_ASSERT(pending_.empty(), "jobs left pending after drain");
+    GAIA_ASSERT(pool_.inUse() == 0,
+                "reserved cores leaked: ", pool_.inUse());
+    finalized_ = true;
+
+    if (horizon_ == 0) {
+        // Online mode without a contracted horizon: cover the
+        // observed schedule, rounded up to whole days.
+        Seconds last_finish = 0;
+        for (const JobState &state : states_) {
+            for (const PlacedSegment &seg :
+                 state.outcome.segments)
+                last_finish = std::max(last_finish, seg.end);
+        }
+        horizon_ = std::max<Seconds>(
+            ((last_finish + kSecondsPerDay - 1) / kSecondsPerDay) *
+                kSecondsPerDay,
+            kSecondsPerDay);
+        // Mark as explicit so the per-job horizon check treats the
+        // derived value as authoritative-but-soft.
+        cluster_.reservation_horizon = horizon_;
+    }
+
+    SimulationResult result;
+    result.policy = policy_.name();
+    result.strategy = strategyName(strategy_);
+    result.region = cis_.trace().region();
+    result.workload = workload_;
+    finalizeInto(result);
+    return result;
+}
+
+} // namespace gaia

@@ -1,0 +1,81 @@
+#include "sim/results.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace gaia {
+
+double
+SimulationResult::meanWaitingHours() const
+{
+    if (outcomes.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const JobOutcome &o : outcomes)
+        total += toHours(o.waiting());
+    return total / static_cast<double>(outcomes.size());
+}
+
+double
+SimulationResult::meanCompletionHours() const
+{
+    if (outcomes.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const JobOutcome &o : outcomes)
+        total += toHours(o.completion());
+    return total / static_cast<double>(outcomes.size());
+}
+
+double
+SimulationResult::p95WaitingHours() const
+{
+    if (outcomes.empty())
+        return 0.0;
+    std::vector<double> waits;
+    waits.reserve(outcomes.size());
+    for (const JobOutcome &o : outcomes)
+        waits.push_back(toHours(o.waiting()));
+    return percentile(std::move(waits), 95.0);
+}
+
+std::vector<double>
+allocationSeries(const SimulationResult &result, Seconds step,
+                 bool any_option, PurchaseOption option)
+{
+    GAIA_ASSERT(step > 0, "non-positive allocation step");
+    Seconds horizon = result.horizon;
+    for (const JobOutcome &o : result.outcomes)
+        horizon = std::max(horizon, o.finish);
+    if (horizon <= 0)
+        return {};
+
+    const auto buckets =
+        static_cast<std::size_t>((horizon + step - 1) / step);
+    std::vector<double> series(buckets, 0.0);
+    for (const JobOutcome &o : result.outcomes) {
+        for (const PlacedSegment &seg : o.segments) {
+            if (!any_option && seg.option != option)
+                continue;
+            Seconds cursor = seg.start;
+            while (cursor < seg.end) {
+                const auto bucket =
+                    static_cast<std::size_t>(cursor / step);
+                const Seconds bucket_end =
+                    static_cast<Seconds>(bucket + 1) * step;
+                const Seconds seg_end =
+                    std::min(bucket_end, seg.end);
+                series[bucket] +=
+                    static_cast<double>(seg_end - cursor) * o.cpus;
+                cursor = seg_end;
+            }
+        }
+    }
+    for (double &v : series)
+        v /= static_cast<double>(step);
+    return series;
+}
+
+} // namespace gaia

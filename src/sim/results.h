@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Simulation outputs: per-job outcomes and cluster-level aggregates.
+ *
+ * GAIA accounts exactly as the paper prescribes (§4.1): on-demand
+ * and spot usage is billed pay-as-you-go, reserved capacity is paid
+ * upfront for the whole horizon regardless of utilization, energy
+ * and carbon are attributed by actual usage only (idle reserved
+ * cores emit nothing), and work lost to spot evictions still costs
+ * money and carbon.
+ */
+
+#ifndef GAIA_SIM_RESULTS_H
+#define GAIA_SIM_RESULTS_H
+
+#include <string>
+#include <vector>
+
+#include "cloud/purchase.h"
+#include "common/time.h"
+#include "workload/job.h"
+
+namespace gaia {
+
+/** One executed (or lost) slice of a job on a purchase option. */
+struct PlacedSegment
+{
+    Seconds start = 0;
+    Seconds end = 0;
+    PurchaseOption option = PurchaseOption::OnDemand;
+    /** True for spot work destroyed by an eviction. */
+    bool lost = false;
+
+    Seconds duration() const { return end - start; }
+};
+
+/** Everything recorded about one job's execution. */
+struct JobOutcome
+{
+    JobId id = 0;
+    Seconds submit = 0;
+    Seconds length = 0;
+    int cpus = 1;
+
+    /** Chronological placements, including lost spot slices. */
+    std::vector<PlacedSegment> segments;
+
+    /** First instant any segment ran. */
+    Seconds start = 0;
+    /** Instant the final (successful) segment completed. */
+    Seconds finish = 0;
+
+    /** Attributed emissions, grams CO2eq (includes lost work). */
+    double carbon_g = 0.0;
+    /** Counterfactual emissions of starting at submit. */
+    double carbon_nowait_g = 0.0;
+    /** Pay-as-you-go dollars (on-demand + spot, incl. lost work). */
+    double variable_cost = 0.0;
+    /** Spot evictions suffered. */
+    int evictions = 0;
+    /** Core-seconds destroyed by evictions. */
+    double lost_core_seconds = 0.0;
+    /** Core-seconds of instance start/stop overhead attributed. */
+    double overhead_core_seconds = 0.0;
+
+    /** Completion time: finish − submit. */
+    Seconds completion() const { return finish - submit; }
+    /** Waiting (non-running) time: completion − useful run time. */
+    Seconds waiting() const { return completion() - length; }
+    /** Emissions saved versus running immediately. */
+    double carbonSaved() const { return carbon_nowait_g - carbon_g; }
+};
+
+/** Cluster-level aggregates for one simulation run. */
+struct SimulationResult
+{
+    std::string policy;
+    std::string strategy;
+    std::string region;
+    std::string workload;
+
+    std::vector<JobOutcome> outcomes;
+
+    int reserved_cores = 0;
+    Seconds horizon = 0;
+
+    /** Dollars. */
+    double reserved_upfront = 0.0;
+    double on_demand_cost = 0.0;
+    double spot_cost = 0.0;
+
+    /** Emissions and energy (totals include the idle share). */
+    double carbon_kg = 0.0;
+    double carbon_nowait_kg = 0.0;
+    double energy_kwh = 0.0;
+    /** Share of the totals from idle-but-powered reserved cores. */
+    double idle_carbon_kg = 0.0;
+    double idle_energy_kwh = 0.0;
+
+    /** Usage split, core-seconds. */
+    double reserved_core_seconds = 0.0;
+    double on_demand_core_seconds = 0.0;
+    double spot_core_seconds = 0.0;
+    double lost_core_seconds = 0.0;
+    double overhead_core_seconds = 0.0;
+
+    /** Reserved-pool utilization over the horizon, [0, 1]. */
+    double reserved_utilization = 0.0;
+    std::size_t eviction_count = 0;
+
+    /** Total dollars: upfront reservation + variable usage. */
+    double totalCost() const
+    {
+        return reserved_upfront + on_demand_cost + spot_cost;
+    }
+
+    /** Mean job waiting time, hours. */
+    double meanWaitingHours() const;
+    /** Mean job completion time, hours. */
+    double meanCompletionHours() const;
+    /** 95th-percentile waiting time, hours. */
+    double p95WaitingHours() const;
+    /** Total carbon saved versus immediate execution, kg. */
+    double carbonSavedKg() const
+    {
+        return carbon_nowait_kg - carbon_kg;
+    }
+};
+
+/**
+ * Concurrent cores in use by `option` (or all options when
+ * `any_option`), sampled every `step` seconds over [0, horizon) —
+ * the data behind the paper's demand/allocation plots.
+ */
+std::vector<double>
+allocationSeries(const SimulationResult &result, Seconds step,
+                 bool any_option = true,
+                 PurchaseOption option = PurchaseOption::OnDemand);
+
+} // namespace gaia
+
+#endif // GAIA_SIM_RESULTS_H

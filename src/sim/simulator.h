@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The GAIA cluster simulator.
+ *
+ * Replays a job trace against a scheduling policy and a resource
+ * strategy over a carbon-intensity trace, producing per-job and
+ * cluster-level accounting. This is the C++ counterpart of the
+ * paper's GAIA-Simulator: identical interfaces and accounting to the
+ * AWS ParallelCluster deployment, minus instance spin-up/teardown
+ * overheads (which the paper's normalized metrics neglect too).
+ */
+
+#ifndef GAIA_SIM_SIMULATOR_H
+#define GAIA_SIM_SIMULATOR_H
+
+#include "core/cis.h"
+#include "core/policy.h"
+#include "core/queues.h"
+#include "sim/cluster.h"
+#include "sim/results.h"
+#include "workload/job.h"
+
+namespace gaia {
+
+/** All inputs of one simulation run. */
+struct SimulationSetup
+{
+    const JobTrace *trace = nullptr;
+    const SchedulingPolicy *policy = nullptr;
+    const QueueConfig *queues = nullptr;
+    const CarbonInfoService *cis = nullptr;
+    ClusterConfig cluster;
+    ResourceStrategy strategy = ResourceStrategy::OnDemandOnly;
+};
+
+/** Run one simulation; fatal() on inconsistent setups. */
+SimulationResult simulate(const SimulationSetup &setup);
+
+/** Convenience overload assembling the setup from parts. */
+SimulationResult
+simulate(const JobTrace &trace, const SchedulingPolicy &policy,
+         const QueueConfig &queues, const CarbonInfoService &cis,
+         const ClusterConfig &cluster = {},
+         ResourceStrategy strategy = ResourceStrategy::OnDemandOnly);
+
+} // namespace gaia
+
+#endif // GAIA_SIM_SIMULATOR_H

@@ -1,0 +1,140 @@
+#include "trace/carbon_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace gaia {
+
+CarbonTrace::CarbonTrace(std::string region, std::vector<double> hourly)
+    : region_(std::move(region)), values_(std::move(hourly))
+{
+    if (values_.empty())
+        fatal("carbon trace '", region_, "' has no slots");
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (!(values_[i] >= 0.0) || !std::isfinite(values_[i])) {
+            fatal("carbon trace '", region_, "' slot ", i,
+                  " has invalid intensity ", values_[i]);
+        }
+    }
+}
+
+std::size_t
+CarbonTrace::clampSlot(SlotIndex slot) const
+{
+    if (slot < 0)
+        return 0;
+    const auto idx = static_cast<std::size_t>(slot);
+    return idx >= values_.size() ? values_.size() - 1 : idx;
+}
+
+double
+CarbonTrace::atSlot(SlotIndex slot) const
+{
+    return values_[clampSlot(slot)];
+}
+
+double
+CarbonTrace::at(Seconds t) const
+{
+    return atSlot(slotOf(std::max<Seconds>(t, 0)));
+}
+
+double
+CarbonTrace::integrate(Seconds from, Seconds to) const
+{
+    GAIA_ASSERT(from <= to, "integrate: from ", from, " > to ", to);
+    if (from == to)
+        return 0.0;
+
+    double total = 0.0;
+    Seconds cursor = from;
+    while (cursor < to) {
+        const SlotIndex slot = slotOf(std::max<Seconds>(cursor, 0));
+        const Seconds slot_end = slotStart(slot) + kSecondsPerHour;
+        const Seconds segment_end = std::min(slot_end, to);
+        total += atSlot(slot) *
+                 static_cast<double>(segment_end - cursor);
+        cursor = segment_end;
+    }
+    return total;
+}
+
+double
+CarbonTrace::gramsFor(Seconds from, Seconds to, double kilowatts) const
+{
+    GAIA_ASSERT(kilowatts >= 0.0, "negative power ", kilowatts);
+    return integrate(from, to) * kilowatts /
+           static_cast<double>(kSecondsPerHour);
+}
+
+SlotIndex
+CarbonTrace::minSlotIn(Seconds from, Seconds to) const
+{
+    GAIA_ASSERT(from < to, "minSlotIn: empty window [", from, ", ",
+                to, ")");
+    const SlotIndex first = slotOf(std::max<Seconds>(from, 0));
+    const SlotIndex last = slotOf(std::max<Seconds>(to - 1, 0));
+    SlotIndex best = first;
+    double best_value = atSlot(first);
+    for (SlotIndex s = first + 1; s <= last; ++s) {
+        const double v = atSlot(s);
+        if (v < best_value) {
+            best_value = v;
+            best = s;
+        }
+    }
+    return best;
+}
+
+double
+CarbonTrace::percentileOver(Seconds from, Seconds to, double p) const
+{
+    GAIA_ASSERT(from < to, "percentileOver: empty window");
+    const SlotIndex first = slotOf(std::max<Seconds>(from, 0));
+    const SlotIndex last = slotOf(std::max<Seconds>(to - 1, 0));
+    std::vector<double> window;
+    window.reserve(static_cast<std::size_t>(last - first + 1));
+    for (SlotIndex s = first; s <= last; ++s)
+        window.push_back(atSlot(s));
+    return percentile(std::move(window), p);
+}
+
+double
+CarbonTrace::meanOver(Seconds from, Seconds to) const
+{
+    GAIA_ASSERT(from < to, "meanOver: empty window");
+    return integrate(from, to) / static_cast<double>(to - from);
+}
+
+CarbonTrace
+CarbonTrace::resized(std::size_t slots) const
+{
+    GAIA_ASSERT(slots > 0, "resized to zero slots");
+    std::vector<double> out;
+    out.reserve(slots);
+    for (std::size_t i = 0; i < slots; ++i)
+        out.push_back(values_[i % values_.size()]);
+    return CarbonTrace(region_, std::move(out));
+}
+
+void
+CarbonTrace::toCsv(const std::string &path) const
+{
+    CsvWriter writer(path, {"hour", "carbon_intensity"});
+    for (std::size_t i = 0; i < values_.size(); ++i)
+        writer.writeRow({std::to_string(i), fmt(values_[i], 4)});
+}
+
+CarbonTrace
+CarbonTrace::fromCsv(const std::string &path, const std::string &region)
+{
+    const CsvTable table = readCsv(path);
+    return CarbonTrace(region, table.columnDoubles("carbon_intensity"));
+}
+
+} // namespace gaia

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Hourly grid carbon-intensity series.
+ *
+ * A CarbonTrace stores grid carbon intensity in g·CO2eq/kWh at hourly
+ * resolution, piecewise-constant within each hour, starting at
+ * simulation time 0. It is the single source of truth consumed by
+ * both the Carbon Information Service (scheduling decisions) and the
+ * accounting layer (emission attribution), mirroring the paper's use
+ * of ElectricityMaps hourly data.
+ */
+
+#ifndef GAIA_TRACE_CARBON_TRACE_H
+#define GAIA_TRACE_CARBON_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace gaia {
+
+/**
+ * Piecewise-constant hourly carbon-intensity series in g·CO2eq/kWh.
+ *
+ * Queries beyond the end of the trace clamp to the final hour's
+ * value; generators add enough margin that this only matters as a
+ * safety net for jobs completing slightly past the horizon.
+ */
+class CarbonTrace
+{
+  public:
+    /** Build from hourly values; all must be non-negative. */
+    CarbonTrace(std::string region, std::vector<double> hourly);
+
+    const std::string &region() const { return region_; }
+    std::size_t slotCount() const { return values_.size(); }
+    Seconds duration() const
+    {
+        return static_cast<Seconds>(values_.size()) * kSecondsPerHour;
+    }
+
+    /** Intensity of hourly slot `slot` (clamped to the trace). */
+    double atSlot(SlotIndex slot) const;
+
+    /** Intensity at instant `t`. */
+    double at(Seconds t) const;
+
+    /**
+     * Time integral of intensity over [from, to), in
+     * (g·CO2eq/kWh)·seconds. Multiply by power draw in kW and divide
+     * by 3600 to obtain grams. `from <= to` required.
+     */
+    double integrate(Seconds from, Seconds to) const;
+
+    /**
+     * Grams of CO2eq emitted by a load drawing `kilowatts` over
+     * [from, to).
+     */
+    double gramsFor(Seconds from, Seconds to, double kilowatts) const;
+
+    /**
+     * Slot with the minimum intensity in [from, to) (first such slot
+     * on ties). Requires a non-empty overlap with [0, duration).
+     */
+    SlotIndex minSlotIn(Seconds from, Seconds to) const;
+
+    /** The p-th percentile of intensity over slots in [from, to). */
+    double percentileOver(Seconds from, Seconds to, double p) const;
+
+    /** Mean intensity over slots in [from, to). */
+    double meanOver(Seconds from, Seconds to) const;
+
+    /** Hourly values (read-only). */
+    const std::vector<double> &values() const { return values_; }
+
+    /** A copy truncated/extended (by repetition) to `slots` hours. */
+    CarbonTrace resized(std::size_t slots) const;
+
+    /** Serialize to CSV (columns: hour, carbon_intensity). */
+    void toCsv(const std::string &path) const;
+
+    /** Load from CSV produced by toCsv() (or ElectricityMaps dumps
+     *  reduced to the same two columns). */
+    static CarbonTrace fromCsv(const std::string &path,
+                               const std::string &region);
+
+  private:
+    /** Clamp a slot index into the valid range. */
+    std::size_t clampSlot(SlotIndex slot) const;
+
+    std::string region_;
+    std::vector<double> values_;
+};
+
+} // namespace gaia
+
+#endif // GAIA_TRACE_CARBON_TRACE_H

@@ -1,0 +1,121 @@
+#include "trace/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gaia {
+
+namespace {
+
+/** Most recent fully observed value for `slot` minus one day. */
+double
+dayBackValue(const CarbonTrace &trace, Seconds now, SlotIndex slot)
+{
+    const SlotIndex current = slotOf(std::max<Seconds>(now, 0));
+    SlotIndex reference = slot - 24;
+    // Walk back whole days until the reference is observable.
+    while (reference > current)
+        reference -= 24;
+    if (reference < 0)
+        reference = std::min<SlotIndex>(current, slot % 24);
+    return trace.atSlot(reference);
+}
+
+} // namespace
+
+double
+PersistenceForecaster::predict(const CarbonTrace &trace,
+                               Seconds now, SlotIndex slot) const
+{
+    GAIA_ASSERT(slot >= slotOf(std::max<Seconds>(now, 0)),
+                "forecasting the past");
+    return dayBackValue(trace, now, slot);
+}
+
+DiurnalProfileForecaster::DiurnalProfileForecaster(
+    int window_days, double persistence_weight)
+    : window_days_(window_days),
+      persistence_weight_(persistence_weight)
+{
+    if (window_days_ < 1)
+        fatal("profile window must be at least one day");
+    if (persistence_weight_ < 0.0 || persistence_weight_ > 1.0)
+        fatal("persistence weight out of [0,1]: ",
+              persistence_weight_);
+}
+
+double
+DiurnalProfileForecaster::predict(const CarbonTrace &trace,
+                                  Seconds now,
+                                  SlotIndex slot) const
+{
+    const SlotIndex current = slotOf(std::max<Seconds>(now, 0));
+    GAIA_ASSERT(slot >= current, "forecasting the past");
+
+    // Average the same hour-of-day over the trailing window of
+    // fully observed days.
+    const SlotIndex hod = slot % 24;
+    double sum = 0.0;
+    int count = 0;
+    for (int day = 1; day <= window_days_; ++day) {
+        const SlotIndex reference = slot - 24 * day;
+        if (reference < 0 || reference > current)
+            continue;
+        sum += trace.atSlot(reference);
+        ++count;
+    }
+    double profile;
+    if (count == 0) {
+        // Cold start: fall back to the most recent observation of
+        // this hour-of-day, or the current value.
+        const SlotIndex fallback =
+            std::min<SlotIndex>(current, hod);
+        profile = trace.atSlot(fallback);
+    } else {
+        profile = sum / count;
+    }
+
+    const double persistence = dayBackValue(trace, now, slot);
+    return persistence_weight_ * persistence +
+           (1.0 - persistence_weight_) * profile;
+}
+
+std::vector<ForecastAccuracy>
+evaluateForecaster(const CarbonForecaster &forecaster,
+                   const CarbonTrace &trace,
+                   const std::vector<int> &lead_hours,
+                   int warmup_days)
+{
+    GAIA_ASSERT(warmup_days >= 1, "need at least one warmup day");
+    std::vector<ForecastAccuracy> out;
+    out.reserve(lead_hours.size());
+
+    for (int lead : lead_hours) {
+        GAIA_ASSERT(lead >= 0, "negative forecast lead");
+        double ape_sum = 0.0;
+        std::size_t count = 0;
+        const auto first =
+            static_cast<SlotIndex>(warmup_days) * 24;
+        const auto last =
+            static_cast<SlotIndex>(trace.slotCount()) - 1 - lead;
+        for (SlotIndex s = first; s <= last; ++s) {
+            const Seconds now = slotStart(s);
+            const double predicted =
+                forecaster.predict(trace, now, s + lead);
+            const double actual = trace.atSlot(s + lead);
+            if (actual > 0.0) {
+                ape_sum += std::abs(predicted - actual) / actual;
+                ++count;
+            }
+        }
+        out.push_back(
+            {lead, count > 0 ? ape_sum /
+                                   static_cast<double>(count)
+                             : 0.0});
+    }
+    return out;
+}
+
+} // namespace gaia

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Carbon-intensity forecasting models.
+ *
+ * The paper assumes perfect knowledge of future carbon intensity,
+ * citing the demonstrated accuracy of multi-day forecasts
+ * (CarbonCast). To let users test that assumption against real
+ * forecasting behaviour — error that grows with lead time and with
+ * grid volatility — GAIA ships simple reference forecasters:
+ *
+ *   - PersistenceForecaster: tomorrow looks like the same hour
+ *     today (the standard naive baseline);
+ *   - DiurnalProfileForecaster: a rolling multi-day average of each
+ *     hour-of-day, optionally blended with persistence — a cheap
+ *     stand-in for learned day-ahead models.
+ *
+ * A forecaster can be plugged into CarbonInfoService so every
+ * policy transparently plans on predictions while accounting stays
+ * on ground truth.
+ */
+
+#ifndef GAIA_TRACE_FORECAST_H
+#define GAIA_TRACE_FORECAST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/carbon_trace.h"
+
+namespace gaia {
+
+/** Predicts future hourly intensity from past observations. */
+class CarbonForecaster
+{
+  public:
+    virtual ~CarbonForecaster() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Forecast the intensity of hourly slot `slot`, issued at time
+     * `now`, given the ground-truth `trace` (of which only slots
+     * up to slotOf(now) may be consulted). `slot` must be at or
+     * after the current slot.
+     */
+    virtual double predict(const CarbonTrace &trace, Seconds now,
+                           SlotIndex slot) const = 0;
+};
+
+/** Naive baseline: the observed value 24 hours earlier. */
+class PersistenceForecaster final : public CarbonForecaster
+{
+  public:
+    std::string name() const override { return "persistence"; }
+    double predict(const CarbonTrace &trace, Seconds now,
+                   SlotIndex slot) const override;
+};
+
+/**
+ * Rolling hour-of-day profile over the trailing `window_days`,
+ * blended with persistence by `persistence_weight` (0 = profile
+ * only, 1 = persistence only).
+ */
+class DiurnalProfileForecaster final : public CarbonForecaster
+{
+  public:
+    explicit DiurnalProfileForecaster(
+        int window_days = 7, double persistence_weight = 0.3);
+
+    std::string name() const override { return "diurnal-profile"; }
+    double predict(const CarbonTrace &trace, Seconds now,
+                   SlotIndex slot) const override;
+
+  private:
+    int window_days_;
+    double persistence_weight_;
+};
+
+/** Forecast accuracy at one lead time. */
+struct ForecastAccuracy
+{
+    int lead_hours = 0;
+    /** Mean absolute percentage error over evaluated slots. */
+    double mape = 0.0;
+};
+
+/**
+ * Evaluate `forecaster` on `trace`: for each lead in `lead_hours`,
+ * the MAPE of predictions issued at every hour of the trace (after
+ * a warm-up period that gives history-based models data).
+ */
+std::vector<ForecastAccuracy>
+evaluateForecaster(const CarbonForecaster &forecaster,
+                   const CarbonTrace &trace,
+                   const std::vector<int> &lead_hours,
+                   int warmup_days = 10);
+
+} // namespace gaia
+
+#endif // GAIA_TRACE_FORECAST_H

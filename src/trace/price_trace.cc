@@ -1,0 +1,88 @@
+#include "trace/price_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace gaia {
+
+PriceTrace::PriceTrace(std::string market, std::vector<double> hourly)
+    : market_(std::move(market)), values_(std::move(hourly))
+{
+    if (values_.empty())
+        fatal("price trace '", market_, "' has no slots");
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (!std::isfinite(values_[i]) || values_[i] < 0.0) {
+            fatal("price trace '", market_, "' slot ", i,
+                  " has invalid price ", values_[i]);
+        }
+    }
+}
+
+double
+PriceTrace::atSlot(SlotIndex slot) const
+{
+    if (slot < 0)
+        slot = 0;
+    const auto idx = static_cast<std::size_t>(slot);
+    return values_[idx >= values_.size() ? values_.size() - 1 : idx];
+}
+
+double
+PriceTrace::at(Seconds t) const
+{
+    return atSlot(slotOf(std::max<Seconds>(t, 0)));
+}
+
+GridMarketTrace
+makeErcotTrace(std::size_t slots, std::uint64_t seed)
+{
+    GAIA_ASSERT(slots > 0, "trace needs at least one slot");
+    Rng rng(seed);
+
+    std::vector<double> carbon;
+    std::vector<double> price;
+    carbon.reserve(slots);
+    price.reserve(slots);
+
+    double wind = 0.45;   // wind output share, AR(1) in [0.05, 0.85]
+    double demand_noise = 0.0;
+
+    for (std::size_t i = 0; i < slots; ++i) {
+        const double hod = static_cast<double>(i % 24);
+
+        // Demand: afternoon/evening peak plus persistent noise.
+        const double diurnal_demand =
+            1.0 + 0.22 * std::cos(2.0 * M_PI * (hod - 17.0) / 24.0);
+        demand_noise = 0.8 * demand_noise + rng.normal(0.0, 0.04);
+        const double demand = diurnal_demand + demand_noise;
+
+        // Wind: slow AR(1) random walk, clamped.
+        wind = std::clamp(0.96 * wind + rng.normal(0.0, 0.035), 0.05,
+                          0.85);
+
+        // Carbon: gas/coal fill the non-wind share; scale to a
+        // medium-intensity grid. More demand -> more gas online.
+        const double ci =
+            620.0 * (1.0 - wind) * (0.75 + 0.25 * demand) +
+            rng.normal(0.0, 12.0);
+
+        // Price: marginal-cost curve in net load (demand minus
+        // wind), convex, with occasional scarcity spikes.
+        const double net_load = std::max(demand - 0.45 * wind, 0.05);
+        double p = 18.0 + 55.0 * net_load * net_load;
+        if (rng.bernoulli(0.015))
+            p += rng.uniform(150.0, 900.0); // scarcity event
+        p += rng.normal(0.0, 3.0);
+
+        carbon.push_back(std::max(ci, 120.0));
+        price.push_back(std::max(p, 0.0));
+    }
+
+    return GridMarketTrace{CarbonTrace("TX-US", std::move(carbon)),
+                           PriceTrace("ERCOT", std::move(price))};
+}
+
+} // namespace gaia

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Hourly wholesale electricity price series and the joint
+ * Texas/ERCOT price-plus-carbon model behind the paper's Figure 20.
+ *
+ * The discussion section observes that for ERCOT, energy price and
+ * carbon intensity are only weakly correlated (ρ ≈ 0.16): on some
+ * days the carbon valley is also cheap, on others the two conflict.
+ * We reproduce that by deriving both series from a shared demand
+ * component plus an independent wind-output component — wind lowers
+ * carbon always, but lowers price only when demand is not peaking —
+ * and occasional scarcity price spikes.
+ */
+
+#ifndef GAIA_TRACE_PRICE_TRACE_H
+#define GAIA_TRACE_PRICE_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "trace/carbon_trace.h"
+
+namespace gaia {
+
+/** Piecewise-constant hourly price series in $/MWh. */
+class PriceTrace
+{
+  public:
+    PriceTrace(std::string market, std::vector<double> hourly);
+
+    const std::string &market() const { return market_; }
+    std::size_t slotCount() const { return values_.size(); }
+
+    /** Price of hourly slot `slot` (clamped to the trace). */
+    double atSlot(SlotIndex slot) const;
+
+    /** Price at instant `t`. */
+    double at(Seconds t) const;
+
+    const std::vector<double> &values() const { return values_; }
+
+  private:
+    std::string market_;
+    std::vector<double> values_;
+};
+
+/** Jointly generated carbon and price series for one market. */
+struct GridMarketTrace
+{
+    CarbonTrace carbon;
+    PriceTrace price;
+};
+
+/**
+ * Generate an ERCOT-like joint carbon/price trace. The generated
+ * pair has a weak positive price-carbon correlation (ρ in roughly
+ * [0.05, 0.35], matching the paper's 0.16 observation).
+ */
+GridMarketTrace makeErcotTrace(std::size_t slots,
+                               std::uint64_t seed = 7);
+
+} // namespace gaia
+
+#endif // GAIA_TRACE_PRICE_TRACE_H

@@ -1,0 +1,177 @@
+#include "trace/region_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gaia {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+/**
+ * Gaussian bump modelling solar generation share across the day:
+ * peaks at 13:00, effectively zero before 07:00 and after 19:00.
+ */
+double
+solarShape(double hour_of_day)
+{
+    const double d = (hour_of_day - 13.0) / 3.2;
+    return std::exp(-0.5 * d * d);
+}
+
+/**
+ * Evening-demand diurnal shape: cosine peaking at 19:00 so that
+ * early-morning hours sit below the daily mean.
+ */
+double
+eveningShape(double hour_of_day)
+{
+    return std::cos(kTwoPi * (hour_of_day - 19.0) / 24.0);
+}
+
+} // namespace
+
+const std::vector<Region> &
+evaluationRegions()
+{
+    static const std::vector<Region> regions = {
+        Region::SouthAustralia, Region::OntarioCanada,
+        Region::CaliforniaUS, Region::Netherlands, Region::KentuckyUS};
+    return regions;
+}
+
+std::string
+regionName(Region region)
+{
+    switch (region) {
+      case Region::SouthAustralia:
+        return "SA-AU";
+      case Region::OntarioCanada:
+        return "ON-CA";
+      case Region::CaliforniaUS:
+        return "CA-US";
+      case Region::Netherlands:
+        return "NL";
+      case Region::KentuckyUS:
+        return "KY-US";
+      case Region::Sweden:
+        return "SE";
+      case Region::TexasUS:
+        return "TX-US";
+    }
+    panic("unknown region enum value");
+}
+
+Region
+regionFromName(const std::string &name)
+{
+    for (Region r :
+         {Region::SouthAustralia, Region::OntarioCanada,
+          Region::CaliforniaUS, Region::Netherlands,
+          Region::KentuckyUS, Region::Sweden, Region::TexasUS}) {
+        if (regionName(r) == name)
+            return r;
+    }
+    fatal("unknown region name '", name, "'");
+}
+
+RegionParams
+regionParams(Region region)
+{
+    // Calibration targets (paper Figures 1, 6, 7):
+    //   SA-AU : medium mean, widest relative swings; seasonal max in
+    //           December (southern hemisphere summer gas peaking),
+    //           deep solar dip.
+    //   ON-CA : low mean, variable (hydro/nuclear base, gas peaks).
+    //   CA-US : medium mean, strong duck curve, ~3.4x daily swing.
+    //   NL    : medium-high mean, variable, modest solar.
+    //   KY-US : high mean, stable coal-dominated grid.
+    //   SE    : very low and stable.
+    //   TX-US : medium mean; used by the price-correlation study.
+    switch (region) {
+      case Region::SouthAustralia:
+        return {"SA-AU", 260.0, 0.42, 345.0, 0.18, 0.62, 0.14, 0.80,
+                25.0, 0.40, 355.0};
+      case Region::OntarioCanada:
+        return {"ON-CA", 85.0, 0.12, 30.0, 0.30, 0.10, 0.18, 0.75,
+                18.0};
+      case Region::CaliforniaUS:
+        return {"CA-US", 265.0, 0.13, 255.0, 0.12, 0.48, 0.07, 0.70,
+                60.0};
+      case Region::Netherlands:
+        return {"NL", 420.0, 0.14, 20.0, 0.13, 0.26, 0.08, 0.70,
+                140.0};
+      case Region::KentuckyUS:
+        return {"KY-US", 890.0, 0.05, 15.0, 0.04, 0.02, 0.025, 0.60,
+                700.0};
+      case Region::Sweden:
+        return {"SE", 32.0, 0.06, 15.0, 0.05, 0.03, 0.04, 0.50,
+                18.0};
+      case Region::TexasUS:
+        return {"TX-US", 400.0, 0.10, 200.0, 0.14, 0.22, 0.10, 0.75,
+                150.0};
+    }
+    panic("unknown region enum value");
+}
+
+CarbonTrace
+makeTraceFromParams(const RegionParams &params, std::size_t slots,
+                    std::uint64_t seed, double start_day)
+{
+    GAIA_ASSERT(slots > 0, "trace needs at least one slot");
+    GAIA_ASSERT(params.base > 0.0, "non-positive base intensity");
+    GAIA_ASSERT(params.noise_rho >= 0.0 && params.noise_rho < 1.0,
+                "AR(1) rho out of range: ", params.noise_rho);
+
+    Rng rng(seed);
+    std::vector<double> values;
+    values.reserve(slots);
+
+    double noise = 0.0;
+    // Stationary innovation scale for the AR(1) process so the
+    // steady-state noise stddev equals noise_sigma * base.
+    const double innovation =
+        params.noise_sigma * params.base *
+        std::sqrt(1.0 - params.noise_rho * params.noise_rho);
+
+    for (std::size_t i = 0; i < slots; ++i) {
+        const double day =
+            start_day + static_cast<double>(i) / 24.0;
+        const double hod = static_cast<double>(i % 24) +
+                           std::fmod(start_day, 1.0) * 24.0;
+
+        const double seasonal =
+            1.0 + params.seasonal_amp *
+                      std::cos(kTwoPi * (day - params.seasonal_peak) /
+                               365.0);
+        const double solar_season = std::max(
+            0.0, 1.0 + params.solar_seasonality *
+                           std::cos(kTwoPi *
+                                    (day - params.solar_peak_day) /
+                                    365.0));
+        const double dip = std::min(
+            0.95, params.solar_depth * solar_season);
+        const double diurnal =
+            1.0 + params.diurnal_amp * eveningShape(hod) -
+            dip * solarShape(hod);
+
+        noise = params.noise_rho * noise + rng.normal(0.0, innovation);
+
+        const double value =
+            params.base * seasonal * diurnal + noise;
+        values.push_back(std::max(value, params.floor));
+    }
+    return CarbonTrace(params.name, std::move(values));
+}
+
+CarbonTrace
+makeRegionTrace(Region region, std::size_t slots, std::uint64_t seed,
+                double start_day)
+{
+    return makeTraceFromParams(regionParams(region), slots, seed,
+                               start_day);
+}
+
+} // namespace gaia

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Synthetic grid models for the paper's carbon-intensity regions.
+ *
+ * The paper evaluates against 2022 ElectricityMaps hourly data for
+ * South Australia, Ontario (Canada), California (US), the
+ * Netherlands, and Kentucky (US) — plus Sweden in the motivating
+ * example and Texas/ERCOT in the discussion. Those data sets are
+ * licensed and not redistributable, so GAIA ships generative models
+ * calibrated to the statistics the paper documents:
+ *
+ *   - region grouping by average level (Low/Medium/High) and
+ *     variability (Stable/Variable), Figure 6;
+ *   - diurnal structure, including the solar "duck curve" midday dip
+ *     in solar-heavy grids, Figure 1 (≈3.4x daily swing in
+ *     California; ≈9x spread across regions);
+ *   - seasonal drift, Figure 7 (South Australia roughly doubles from
+ *     July to December).
+ *
+ * Each model composes a base level, an annual sinusoid, an
+ * evening-peaking diurnal term, a Gaussian midday solar dip, and
+ * AR(1) noise, then clamps at a floor. Real ElectricityMaps CSV
+ * exports drop in via CarbonTrace::fromCsv with no other change.
+ */
+
+#ifndef GAIA_TRACE_REGION_MODEL_H
+#define GAIA_TRACE_REGION_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/carbon_trace.h"
+
+namespace gaia {
+
+/** Identifier for each modelled grid region. */
+enum class Region
+{
+    SouthAustralia, ///< medium level, highest variability
+    OntarioCanada,  ///< low level, variable (hydro/nuclear + gas)
+    CaliforniaUS,   ///< medium level, variable (solar duck curve)
+    Netherlands,    ///< medium-high level, variable
+    KentuckyUS,     ///< high level, stable (coal-heavy)
+    Sweden,         ///< low level, stable (hydro/nuclear)
+    TexasUS,        ///< medium level; used for the price study
+};
+
+/** All regions the paper evaluates (Figure 6 ordering). */
+const std::vector<Region> &evaluationRegions();
+
+/** Short region label, e.g. "SA-AU". */
+std::string regionName(Region region);
+
+/** Parse a region label produced by regionName(); fatal on unknown. */
+Region regionFromName(const std::string &name);
+
+/** Generative parameters of one regional grid model. */
+struct RegionParams
+{
+    std::string name;
+    double base;           ///< mean carbon intensity, g/kWh
+    double seasonal_amp;   ///< annual sinusoid amplitude, fraction
+    double seasonal_peak;  ///< day-of-year of the seasonal maximum
+    double diurnal_amp;    ///< evening-peak amplitude, fraction
+    double solar_depth;    ///< midday solar-dip depth, fraction
+    double noise_sigma;    ///< AR(1) innovation stddev, fraction
+    double noise_rho;      ///< AR(1) persistence in [0, 1)
+    double floor;          ///< minimum intensity clamp, g/kWh
+    /**
+     * Seasonal modulation of the solar dip: the midday depth scales
+     * by 1 + solar_seasonality * cos(2*pi*(day - solar_peak_day) /
+     * 365), so winter duck curves are shallower than summer ones.
+     */
+    double solar_seasonality = 0.45;
+    /** Day-of-year of maximum solar output (172 northern summer,
+     *  355 southern summer). */
+    double solar_peak_day = 172.0;
+};
+
+/** Calibrated parameters for `region`. */
+RegionParams regionParams(Region region);
+
+/**
+ * Generate an hourly carbon trace for `region`.
+ *
+ * @param region   grid to model
+ * @param slots    number of hourly slots to produce
+ * @param seed     RNG seed; identical seeds reproduce the trace
+ * @param start_day day-of-year of slot 0 (for seasonal phase), so a
+ *                  February experiment can start mid-winter
+ */
+CarbonTrace makeRegionTrace(Region region, std::size_t slots,
+                            std::uint64_t seed = 1,
+                            double start_day = 0.0);
+
+/**
+ * Generate a trace from explicit parameters (tests, what-if studies).
+ */
+CarbonTrace makeTraceFromParams(const RegionParams &params,
+                                std::size_t slots, std::uint64_t seed,
+                                double start_day = 0.0);
+
+} // namespace gaia
+
+#endif // GAIA_TRACE_REGION_MODEL_H

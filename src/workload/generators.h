@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Synthetic workload generation calibrated to the paper's traces.
+ *
+ * The paper samples three production traces — Alibaba-PAI (2-month
+ * ML cluster), Azure-VM (month-long VM lifetimes), and LANL
+ * Mustang-HPC (5-year MPI cluster) — into year-long 100k-job and
+ * week-long 1k-job traces, filtering jobs shorter than 5 minutes or
+ * longer than 3 days. Those traces are large external artifacts, so
+ * GAIA ships distribution models fitted to the moments the paper
+ * documents:
+ *
+ *   - Alibaba-PAI: a heavy mass of very short jobs (38% under 5
+ *     minutes pre-filter contributing 0.36% of compute); post-filter
+ *     ≈half the jobs are under an hour while 3–12 h jobs dominate
+ *     compute; CPU demand 1–100 and correlated with length; mean
+ *     concurrent demand ≈100 cores for the year trace, ≈17 for the
+ *     CPU-capped (≤4) week trace.
+ *   - Mustang-HPC: job lengths capped at 16 h with a mean that is
+ *     representative of the whole trace; wide multi-node CPU
+ *     demands; cluster demand CoV ≈0.8; mean demand ≈468.
+ *   - Azure-VM: VM lifetimes spanning into multiple days (high
+ *     length variance), small per-VM CPU buckets; smooth demand,
+ *     CoV ≈0.3; mean demand ≈142.
+ *
+ * Length and demand are sampled via a latent "scale class" so large
+ * jobs are also long — this is what reconciles the year-trace mean
+ * demand with the CPU-capped week-trace mean demand, as in the
+ * originals.
+ */
+
+#ifndef GAIA_WORKLOAD_GENERATORS_H
+#define GAIA_WORKLOAD_GENERATORS_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "workload/job.h"
+
+namespace gaia {
+
+/** Production trace a generator is calibrated to. */
+enum class WorkloadSource
+{
+    AlibabaPai,
+    AzureVm,
+    MustangHpc,
+};
+
+/** Human-readable source name, e.g. "Alibaba-PAI". */
+std::string workloadName(WorkloadSource source);
+
+/**
+ * Arrival-intensity shape for one source: production clusters see
+ * diurnal working-hour peaks, weekend dips, and bursty submission
+ * campaigns, which is what gives the paper's traces their demand
+ * coefficient of variation (Mustang ≈ 0.8, Azure ≈ 0.3, §6.4.4).
+ * Arrivals are a nonhomogeneous Poisson process conditioned on the
+ * trace's job count, with hourly intensity
+ *   base * (1 + diurnal_amp * working-hours shape)
+ *        * (weekend ? 1 - weekend_drop : 1)
+ *        * lognormal burst factor per burst_block.
+ */
+struct ArrivalPattern
+{
+    double diurnal_amp = 0.0;   ///< working-hours peak amplitude
+    double weekend_drop = 0.0;  ///< fractional weekend slowdown
+    double burst_sigma = 0.0;   ///< per-block lognormal burstiness
+    Seconds burst_block = 6 * kSecondsPerHour; ///< burst duration
+};
+
+/** Calibrated arrival pattern for `source`. */
+ArrivalPattern arrivalPattern(WorkloadSource source);
+
+/**
+ * Samples (length, cpus) pairs that follow one source's joint
+ * distribution. Stateless apart from the caller-provided RNG.
+ */
+class WorkloadModel
+{
+  public:
+    explicit WorkloadModel(WorkloadSource source);
+
+    WorkloadSource source() const { return source_; }
+
+    /** One job-shaped sample; submit time is left to the caller. */
+    Job sample(Rng &rng) const;
+
+  private:
+    WorkloadSource source_;
+};
+
+/** Options controlling trace synthesis and the sampling pipeline. */
+struct TraceBuildOptions
+{
+    /** Number of jobs in the finished trace. */
+    std::size_t job_count = 1000;
+    /** Arrival span; arrivals are a Poisson process over it. */
+    Seconds span = kSecondsPerWeek;
+    /** Paper filter: drop jobs shorter than this (default 5 min). */
+    Seconds min_length = 5 * kSecondsPerMinute;
+    /** Paper filter: drop jobs longer than this (default 3 days). */
+    Seconds max_length = 3 * kSecondsPerDay;
+    /** Drop jobs demanding more CPUs than this; 0 = unlimited. */
+    int max_cpus = 0;
+    /** RNG seed; the trace is a pure function of options+seed. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Build a trace from `source`'s distribution model: draw jobs, apply
+ * the paper's length/CPU filters (re-drawing until `job_count`
+ * survivors), and scatter arrivals over `span` as a Poisson process
+ * conditioned on the final count.
+ */
+JobTrace buildTrace(WorkloadSource source,
+                    const TraceBuildOptions &options);
+
+/** The paper's year-long 100k-job trace for `source`. */
+JobTrace makeYearTrace(WorkloadSource source, std::uint64_t seed = 1);
+
+/**
+ * The paper's week-long 1k-job Alibaba-PAI prototype trace (jobs
+ * capped at 4 CPUs for testbed tractability).
+ */
+JobTrace makeWeekTrace(std::uint64_t seed = 1);
+
+/**
+ * The Section 3 motivating workload: Poisson arrivals with a mean
+ * inter-arrival of 48 minutes, exponentially distributed lengths
+ * with a 4-hour mean, one CPU each, over `span` (default 3 days);
+ * mean concurrent demand of 5 cores.
+ */
+JobTrace makeMotivatingTrace(Seconds span = 3 * kSecondsPerDay,
+                             std::uint64_t seed = 1);
+
+} // namespace gaia
+
+#endif // GAIA_WORKLOAD_GENERATORS_H

@@ -1,0 +1,120 @@
+#include "workload/job.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/logging.h"
+
+namespace gaia {
+
+JobTrace::JobTrace(std::string name, std::vector<Job> jobs)
+    : name_(std::move(name)), jobs_(std::move(jobs))
+{
+    std::stable_sort(jobs_.begin(), jobs_.end(),
+                     [](const Job &a, const Job &b) {
+                         return a.submit < b.submit;
+                     });
+    for (const Job &j : jobs_) {
+        if (j.submit < 0)
+            fatal("trace '", name_, "': job ", j.id,
+                  " has negative submit time ", j.submit);
+        if (j.length <= 0)
+            fatal("trace '", name_, "': job ", j.id,
+                  " has non-positive length ", j.length);
+        if (j.cpus <= 0)
+            fatal("trace '", name_, "': job ", j.id,
+                  " has non-positive cpu demand ", j.cpus);
+    }
+}
+
+const Job &
+JobTrace::job(std::size_t i) const
+{
+    GAIA_ASSERT(i < jobs_.size(), "job index out of range: ", i);
+    return jobs_[i];
+}
+
+Seconds
+JobTrace::lastArrival() const
+{
+    return jobs_.empty() ? 0 : jobs_.back().submit;
+}
+
+Seconds
+JobTrace::busyHorizon() const
+{
+    Seconds max_len = 0;
+    for (const Job &j : jobs_)
+        max_len = std::max(max_len, j.length);
+    return lastArrival() + max_len;
+}
+
+double
+JobTrace::totalCoreSeconds() const
+{
+    double total = 0.0;
+    for (const Job &j : jobs_)
+        total += j.coreSeconds();
+    return total;
+}
+
+double
+JobTrace::meanDemand() const
+{
+    const Seconds span = lastArrival();
+    if (span <= 0)
+        return 0.0;
+    return totalCoreSeconds() / static_cast<double>(span);
+}
+
+JobTrace
+JobTrace::filtered(Seconds min_length, Seconds max_length,
+                   int max_cpus) const
+{
+    std::vector<Job> kept;
+    kept.reserve(jobs_.size());
+    for (const Job &j : jobs_) {
+        if (j.length < min_length || j.length > max_length)
+            continue;
+        if (max_cpus > 0 && j.cpus > max_cpus)
+            continue;
+        kept.push_back(j);
+    }
+    return JobTrace(name_, std::move(kept));
+}
+
+void
+JobTrace::toCsv(const std::string &path) const
+{
+    CsvWriter writer(path, {"id", "submit", "length", "cpus"});
+    for (const Job &j : jobs_) {
+        writer.writeRow({std::to_string(j.id),
+                         std::to_string(j.submit),
+                         std::to_string(j.length),
+                         std::to_string(j.cpus)});
+    }
+}
+
+JobTrace
+JobTrace::fromCsv(const std::string &path, const std::string &name)
+{
+    const CsvTable table = readCsv(path);
+    const std::size_t id_col = table.columnIndex("id");
+    const std::size_t submit_col = table.columnIndex("submit");
+    const std::size_t length_col = table.columnIndex("length");
+    const std::size_t cpus_col = table.columnIndex("cpus");
+
+    std::vector<Job> jobs;
+    jobs.reserve(table.rowCount());
+    for (std::size_t r = 0; r < table.rowCount(); ++r) {
+        Job j;
+        j.id = table.cellInt(r, id_col);
+        j.submit = table.cellInt(r, submit_col);
+        j.length = table.cellInt(r, length_col);
+        j.cpus = static_cast<int>(table.cellInt(r, cpus_col));
+        jobs.push_back(j);
+    }
+    return JobTrace(name, std::move(jobs));
+}
+
+} // namespace gaia

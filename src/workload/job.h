@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Batch jobs and job traces.
+ *
+ * A Job is the unit of scheduling: it arrives at `submit`, needs
+ * `cpus` cores for `length` seconds of uninterrupted execution (or
+ * the same total across segments under suspend-resume policies), and
+ * belongs to a queue derived from its length bound.
+ *
+ * A JobTrace is an arrival-ordered sequence of jobs, the simulator's
+ * workload input — either synthesized by gaia::workload generators or
+ * loaded from CSV.
+ */
+
+#ifndef GAIA_WORKLOAD_JOB_H
+#define GAIA_WORKLOAD_JOB_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace gaia {
+
+/** Unique job identifier within one trace. */
+using JobId = std::int64_t;
+
+/** One batch job. */
+struct Job
+{
+    JobId id = 0;
+    /** Arrival (submission) time. */
+    Seconds submit = 0;
+    /** Actual execution length; not known to most policies. */
+    Seconds length = 0;
+    /** CPU cores demanded for the whole execution. */
+    int cpus = 1;
+    /**
+     * Explicit queue index chosen by the submitting user; -1 (the
+     * default) means "classify by actual length", the paper's
+     * accurate-users assumption. A non-negative hint lets
+     * experiments model queue misclassification.
+     */
+    int queue_hint = -1;
+
+    /** Core-seconds of compute this job performs. */
+    double coreSeconds() const
+    {
+        return static_cast<double>(length) * cpus;
+    }
+};
+
+/** Arrival-ordered collection of jobs. */
+class JobTrace
+{
+  public:
+    /** Jobs are sorted by submit time on construction. */
+    JobTrace(std::string name, std::vector<Job> jobs);
+
+    const std::string &name() const { return name_; }
+    std::size_t jobCount() const { return jobs_.size(); }
+    bool empty() const { return jobs_.empty(); }
+    const std::vector<Job> &jobs() const { return jobs_; }
+    const Job &job(std::size_t i) const;
+
+    /** Time of the last arrival (0 for an empty trace). */
+    Seconds lastArrival() const;
+
+    /**
+     * Arrival span plus the longest job: an upper bound on when the
+     * cluster could still be busy under a no-wait schedule.
+     */
+    Seconds busyHorizon() const;
+
+    /** Sum of core-seconds across all jobs. */
+    double totalCoreSeconds() const;
+
+    /**
+     * Mean concurrent CPU demand: total core-seconds divided by the
+     * arrival span. This is the quantity the paper sizes reserved
+     * capacity against ("R selected as the trace's mean demand").
+     */
+    double meanDemand() const;
+
+    /** New trace with only jobs satisfying all filters applied. */
+    JobTrace filtered(Seconds min_length, Seconds max_length,
+                      int max_cpus /* 0 = unlimited */) const;
+
+    /** Serialize (columns: id, submit, length, cpus). */
+    void toCsv(const std::string &path) const;
+
+    /** Load a trace written by toCsv(). */
+    static JobTrace fromCsv(const std::string &path,
+                            const std::string &name);
+
+  private:
+    std::string name_;
+    std::vector<Job> jobs_;
+};
+
+} // namespace gaia
+
+#endif // GAIA_WORKLOAD_JOB_H

@@ -1,0 +1,114 @@
+#include "workload/resampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace gaia {
+
+JobTrace
+replicateTrace(const JobTrace &trace, int times)
+{
+    GAIA_ASSERT(times >= 1, "replication count must be >= 1");
+    if (trace.empty())
+        return trace;
+
+    // Copies are laid end to end one hour after the previous copy's
+    // busy horizon so replicas never interleave.
+    const Seconds stride = trace.busyHorizon() + kSecondsPerHour;
+    std::vector<Job> jobs;
+    jobs.reserve(trace.jobCount() * static_cast<std::size_t>(times));
+    JobId next_id = 0;
+    for (int copy = 0; copy < times; ++copy) {
+        const Seconds shift = stride * copy;
+        for (const Job &j : trace.jobs()) {
+            Job shifted = j;
+            shifted.id = next_id++;
+            shifted.submit += shift;
+            jobs.push_back(shifted);
+        }
+    }
+    return JobTrace(trace.name(), std::move(jobs));
+}
+
+JobTrace
+sampleTrace(const JobTrace &source, std::size_t count, Seconds span,
+            std::uint64_t seed)
+{
+    GAIA_ASSERT(count > 0, "sample count must be positive");
+    GAIA_ASSERT(span > 0, "sample span must be positive");
+    if (source.empty())
+        fatal("cannot sample from an empty trace");
+
+    Rng rng(seed);
+    std::vector<Seconds> arrivals;
+    arrivals.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        arrivals.push_back(rng.uniformInt(0, span - 1));
+    std::sort(arrivals.begin(), arrivals.end());
+
+    std::vector<Job> jobs;
+    jobs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.uniformInt(0,
+                           static_cast<std::int64_t>(
+                               source.jobCount()) -
+                               1));
+        Job job = source.job(pick);
+        job.id = static_cast<JobId>(i);
+        job.submit = arrivals[i];
+        jobs.push_back(job);
+    }
+    return JobTrace(source.name(), std::move(jobs));
+}
+
+JobTrace
+normalizeDemand(const JobTrace &trace, double cores_per_unit)
+{
+    GAIA_ASSERT(cores_per_unit > 0.0,
+                "cores_per_unit must be positive");
+    std::vector<Job> jobs;
+    jobs.reserve(trace.jobCount());
+    for (const Job &j : trace.jobs()) {
+        Job scaled = j;
+        scaled.cpus = std::max(
+            1, static_cast<int>(std::lround(j.cpus *
+                                            cores_per_unit)));
+        jobs.push_back(scaled);
+    }
+    return JobTrace(trace.name(), std::move(jobs));
+}
+
+JobTrace
+buildFromTrace(const JobTrace &source, std::size_t count,
+               Seconds span, std::uint64_t seed, Seconds min_length,
+               Seconds max_length)
+{
+    if (source.empty())
+        fatal("cannot build from an empty trace");
+
+    // §6.1 step 2: replicate until the source covers the target
+    // span (seasonal demand changes are not captured, as the paper
+    // notes, but the carbon trace's seasonality still is).
+    const Seconds source_span =
+        std::max<Seconds>(source.busyHorizon(), kSecondsPerHour);
+    const int copies = static_cast<int>(
+        std::max<Seconds>((span + source_span - 1) / source_span,
+                          1));
+    const JobTrace extended =
+        copies > 1 ? replicateTrace(source, copies) : source;
+
+    // §6.1 step 1's filters, then the sample itself.
+    const JobTrace filtered =
+        extended.filtered(min_length, max_length, 0);
+    if (filtered.empty()) {
+        fatal("trace '", source.name(),
+              "' has no jobs inside the length filters");
+    }
+    return sampleTrace(filtered, count, span, seed);
+}
+
+} // namespace gaia

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The paper's trace-construction pipeline (§6.1) for users who have
+ * real production traces: uniform job sampling, replication-based
+ * length extension, and demand normalization.
+ *
+ * The original traces differ in span (Alibaba-PAI: two months,
+ * Azure-VM: one month, Mustang-HPC: five years) and in compute
+ * units; the paper (1) uniformly samples each original trace's jobs
+ * to a fixed count over a fixed span, (2) replicates short traces
+ * end-to-end to cover a year before sampling, and (3) rescales
+ * resource demands to a common homogeneous-core unit. These helpers
+ * implement exactly that, so a `JobTrace::fromCsv` of a real dump
+ * can be turned into the year-long/week-long inputs GAIA expects.
+ */
+
+#ifndef GAIA_WORKLOAD_RESAMPLER_H
+#define GAIA_WORKLOAD_RESAMPLER_H
+
+#include <cstdint>
+
+#include "workload/job.h"
+
+namespace gaia {
+
+/**
+ * Length extension (§6.1 step 2): append `times` end-to-end copies
+ * of the trace, shifting each copy by the previous copy's span.
+ * Job ids are renumbered to stay unique. `times >= 1`.
+ */
+JobTrace replicateTrace(const JobTrace &trace, int times);
+
+/**
+ * Uniform sampling (§6.1 step 1): draw `count` jobs uniformly at
+ * random (with replacement) from `source`, discard submit times,
+ * and scatter the samples as a Poisson process over `span`
+ * (conditioned on the count). Ids are renumbered 0..count-1.
+ */
+JobTrace sampleTrace(const JobTrace &source, std::size_t count,
+                     Seconds span, std::uint64_t seed);
+
+/**
+ * Demand normalization (§6.1 step 3): multiply every job's CPU
+ * demand by `cores_per_unit` (e.g. 24 for Mustang's 24-core-node
+ * unit), clamping at 1.
+ */
+JobTrace normalizeDemand(const JobTrace &trace,
+                         double cores_per_unit);
+
+/**
+ * The full pipeline: replicate `source` until it covers at least
+ * `span`, apply the paper's length filters, then sample `count`
+ * jobs over `span`.
+ */
+JobTrace buildFromTrace(const JobTrace &source, std::size_t count,
+                        Seconds span, std::uint64_t seed,
+                        Seconds min_length = 5 * kSecondsPerMinute,
+                        Seconds max_length = 3 * kSecondsPerDay);
+
+} // namespace gaia
+
+#endif // GAIA_WORKLOAD_RESAMPLER_H

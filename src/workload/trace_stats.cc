@@ -1,0 +1,91 @@
+#include "workload/trace_stats.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gaia {
+
+std::vector<double>
+demandSeries(const JobTrace &trace, Seconds step)
+{
+    GAIA_ASSERT(step > 0, "non-positive demand step ", step);
+    if (trace.empty())
+        return {};
+
+    const Seconds horizon = trace.busyHorizon();
+    const auto buckets =
+        static_cast<std::size_t>((horizon + step - 1) / step);
+    std::vector<double> series(buckets, 0.0);
+
+    // Accumulate core-seconds per bucket, then divide by the bucket
+    // width to get average concurrent cores.
+    for (const Job &j : trace.jobs()) {
+        Seconds cursor = j.submit;
+        const Seconds end = j.submit + j.length;
+        while (cursor < end) {
+            const auto bucket =
+                static_cast<std::size_t>(cursor / step);
+            const Seconds bucket_end =
+                static_cast<Seconds>(bucket + 1) * step;
+            const Seconds seg_end = std::min(bucket_end, end);
+            series[bucket] += static_cast<double>(seg_end - cursor) *
+                              j.cpus;
+            cursor = seg_end;
+        }
+    }
+    for (double &v : series)
+        v /= static_cast<double>(step);
+    return series;
+}
+
+DemandStats
+demandStats(const JobTrace &trace, Seconds step)
+{
+    DemandStats out;
+    RunningStats acc;
+    for (double v : demandSeries(trace, step))
+        acc.add(v);
+    if (acc.count() == 0)
+        return out;
+    out.mean = acc.mean();
+    out.stddev = acc.stddev();
+    out.cov = acc.cov();
+    out.peak = acc.max();
+    return out;
+}
+
+std::vector<double>
+lengthsHours(const JobTrace &trace)
+{
+    std::vector<double> out;
+    out.reserve(trace.jobCount());
+    for (const Job &j : trace.jobs())
+        out.push_back(toHours(j.length));
+    return out;
+}
+
+std::vector<double>
+cpuDemands(const JobTrace &trace)
+{
+    std::vector<double> out;
+    out.reserve(trace.jobCount());
+    for (const Job &j : trace.jobs())
+        out.push_back(static_cast<double>(j.cpus));
+    return out;
+}
+
+double
+computeShareByLength(const JobTrace &trace, Seconds lo, Seconds hi)
+{
+    double total = 0.0;
+    double in_band = 0.0;
+    for (const Job &j : trace.jobs()) {
+        total += j.coreSeconds();
+        if (j.length >= lo && j.length < hi)
+            in_band += j.coreSeconds();
+    }
+    return total == 0.0 ? 0.0 : in_band / total;
+}
+
+} // namespace gaia

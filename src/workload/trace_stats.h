@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Workload trace statistics: concurrent-demand time series (the
+ * paper's Figure 2a/4b "demand" curves and the demand CoV used in
+ * §6.4.4) and job length/demand distribution summaries (Figure 5).
+ */
+
+#ifndef GAIA_WORKLOAD_TRACE_STATS_H
+#define GAIA_WORKLOAD_TRACE_STATS_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "workload/job.h"
+
+namespace gaia {
+
+/**
+ * Concurrent CPU demand sampled every `step` seconds under
+ * immediate (no-wait) execution: entry k covers
+ * [k*step, (k+1)*step) and holds the average cores in use.
+ */
+std::vector<double> demandSeries(const JobTrace &trace, Seconds step);
+
+/** Summary moments of a demand series. */
+struct DemandStats
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double cov = 0.0; ///< stddev / mean (paper §6.4.4)
+    double peak = 0.0;
+};
+
+/** Demand statistics at `step` resolution (default 1 hour). */
+DemandStats demandStats(const JobTrace &trace,
+                        Seconds step = kSecondsPerHour);
+
+/** All job lengths, in hours (for CDFs). */
+std::vector<double> lengthsHours(const JobTrace &trace);
+
+/** All job CPU demands (for CDFs). */
+std::vector<double> cpuDemands(const JobTrace &trace);
+
+/**
+ * Fraction of total core-seconds contributed by jobs whose length
+ * falls in [lo, hi) — the paper's "compute cycles by length band"
+ * metric (e.g., sub-5-minute jobs contribute 0.36% for Alibaba).
+ */
+double computeShareByLength(const JobTrace &trace, Seconds lo,
+                            Seconds hi);
+
+} // namespace gaia
+
+#endif // GAIA_WORKLOAD_TRACE_STATS_H

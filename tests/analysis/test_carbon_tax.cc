@@ -1,0 +1,67 @@
+/** @file Tests for carbon pricing helpers. */
+
+#include "analysis/carbon_tax.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gaia {
+namespace {
+
+SimulationResult
+resultWith(double cost, double carbon_kg)
+{
+    SimulationResult r;
+    r.on_demand_cost = cost;
+    r.carbon_kg = carbon_kg;
+    return r;
+}
+
+TEST(CarbonTax, PricesEmissions)
+{
+    const SimulationResult r = resultWith(10.0, 500.0);
+    // Half a tonne at $50/t.
+    EXPECT_DOUBLE_EQ(carbonCost(r, 50.0), 25.0);
+    EXPECT_DOUBLE_EQ(effectiveCost(r, 50.0), 35.0);
+    EXPECT_DOUBLE_EQ(effectiveCost(r, 0.0), 10.0);
+}
+
+TEST(CarbonTax, BreakEvenPriceBasics)
+{
+    // Green pays $6 more but avoids 200 kg -> $30/t break-even.
+    const SimulationResult green = resultWith(16.0, 300.0);
+    const SimulationResult base = resultWith(10.0, 500.0);
+    EXPECT_DOUBLE_EQ(breakEvenCarbonPrice(green, base), 30.0);
+    // At exactly the break-even price, effective costs match.
+    EXPECT_NEAR(effectiveCost(green, 30.0),
+                effectiveCost(base, 30.0), 1e-12);
+    // Above it, green wins.
+    EXPECT_LT(effectiveCost(green, 40.0),
+              effectiveCost(base, 40.0));
+}
+
+TEST(CarbonTax, AlreadyCheaperGreenNeedsNoPrice)
+{
+    const SimulationResult green = resultWith(9.0, 300.0);
+    const SimulationResult base = resultWith(10.0, 500.0);
+    EXPECT_DOUBLE_EQ(breakEvenCarbonPrice(green, base), 0.0);
+}
+
+TEST(CarbonTax, NoAvoidedCarbonIsUnjustifiable)
+{
+    const SimulationResult green = resultWith(12.0, 500.0);
+    const SimulationResult base = resultWith(10.0, 500.0);
+    EXPECT_TRUE(std::isinf(breakEvenCarbonPrice(green, base)));
+    const SimulationResult dirtier = resultWith(12.0, 600.0);
+    EXPECT_TRUE(std::isinf(breakEvenCarbonPrice(dirtier, base)));
+}
+
+TEST(CarbonTaxDeath, NegativePriceRejected)
+{
+    const SimulationResult r = resultWith(1.0, 1.0);
+    EXPECT_DEATH(carbonCost(r, -5.0), "negative carbon price");
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,97 @@
+/** @file Tests for Pareto-frontier extraction. */
+
+#include "analysis/frontier.h"
+
+#include <gtest/gtest.h>
+
+namespace gaia {
+namespace {
+
+MetricsRow
+point(const std::string &label, double cost, double carbon)
+{
+    MetricsRow row;
+    row.label = label;
+    row.cost = cost;
+    row.carbon_kg = carbon;
+    return row;
+}
+
+TEST(Frontier, DropsDominatedPoints)
+{
+    const std::vector<MetricsRow> rows = {
+        point("a", 1.0, 10.0), // frontier (cheapest)
+        point("b", 2.0, 5.0),  // frontier
+        point("c", 3.0, 6.0),  // dominated by b
+        point("d", 4.0, 1.0),  // frontier (greenest)
+        point("e", 5.0, 1.0),  // dominated by d
+    };
+    const auto frontier = paretoFrontier(rows);
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_EQ(rows[frontier[0]].label, "a");
+    EXPECT_EQ(rows[frontier[1]].label, "b");
+    EXPECT_EQ(rows[frontier[2]].label, "d");
+}
+
+TEST(Frontier, DuplicatesKeepOneRepresentative)
+{
+    const std::vector<MetricsRow> rows = {
+        point("a", 1.0, 1.0),
+        point("b", 1.0, 1.0),
+        point("c", 1.0, 1.0),
+    };
+    const auto frontier = paretoFrontier(rows);
+    ASSERT_EQ(frontier.size(), 1u);
+    EXPECT_EQ(frontier[0], 0u);
+}
+
+TEST(Frontier, AllPointsOnFrontier)
+{
+    const std::vector<MetricsRow> rows = {
+        point("a", 3.0, 1.0),
+        point("b", 1.0, 3.0),
+        point("c", 2.0, 2.0),
+    };
+    const auto frontier = paretoFrontier(rows);
+    EXPECT_EQ(frontier.size(), 3u);
+    // Sorted by cost.
+    EXPECT_EQ(rows[frontier[0]].label, "b");
+    EXPECT_EQ(rows[frontier[2]].label, "a");
+}
+
+TEST(Frontier, EmptyInput)
+{
+    EXPECT_TRUE(paretoFrontier({}).empty());
+}
+
+TEST(Frontier, KneeFindsTheElbow)
+{
+    // An L-shaped frontier: the elbow at (2, 2) should win over
+    // the shallow ends.
+    const std::vector<MetricsRow> rows = {
+        point("cheap", 1.0, 10.0),
+        point("elbow", 2.0, 2.0),
+        point("green", 10.0, 1.0),
+    };
+    const auto frontier = paretoFrontier(rows);
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_EQ(rows[kneePoint(rows, frontier)].label, "elbow");
+}
+
+TEST(Frontier, KneeDegenerateCases)
+{
+    const std::vector<MetricsRow> rows = {
+        point("a", 1.0, 2.0),
+        point("b", 2.0, 1.0),
+    };
+    const auto frontier = paretoFrontier(rows);
+    EXPECT_EQ(kneePoint(rows, frontier), frontier.front());
+}
+
+TEST(FrontierDeath, KneeOfEmptyFrontier)
+{
+    EXPECT_DEATH(kneePoint({}, {}), "empty frontier");
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,143 @@
+/** @file Tests for gaia_run option parsing. */
+
+#include "cli/options.h"
+
+#include <gtest/gtest.h>
+
+namespace gaia {
+namespace {
+
+CliOptions
+parse(const std::vector<std::string> &args)
+{
+    CliOptions options;
+    EXPECT_TRUE(parseCliOptions(args, options));
+    return options;
+}
+
+TEST(CliOptions, DefaultsMatchArtifact)
+{
+    const CliOptions o = parse({});
+    EXPECT_EQ(o.workload, "alibaba");
+    EXPECT_EQ(o.policy, "Carbon-Time");
+    EXPECT_EQ(o.strategy, "on-demand");
+    EXPECT_EQ(o.short_wait, 6 * kSecondsPerHour);
+    EXPECT_EQ(o.long_wait, 24 * kSecondsPerHour);
+    EXPECT_EQ(o.reserved, 0);
+    EXPECT_EQ(o.resolvedStrategy(),
+              ResourceStrategy::OnDemandOnly);
+}
+
+TEST(CliOptions, ParsesFullCommandLine)
+{
+    const CliOptions o = parse(
+        {"--workload", "azure", "--jobs", "500", "--span-days",
+         "14", "--region", "CA-US", "--policy", "Lowest-Window",
+         "--strategy", "spot-res", "--reserved", "12",
+         "--eviction-rate", "0.1", "--spot-max-hours", "6", "-w",
+         "3x48", "--seed", "99", "--output-dir", "/tmp/x",
+         "--forecast-noise", "0.2"});
+    EXPECT_EQ(o.workload, "azure");
+    EXPECT_EQ(o.jobs, 500u);
+    EXPECT_DOUBLE_EQ(o.span_days, 14.0);
+    EXPECT_EQ(o.region, "CA-US");
+    EXPECT_EQ(o.policy, "Lowest-Window");
+    EXPECT_EQ(o.resolvedStrategy(),
+              ResourceStrategy::SpotReserved);
+    EXPECT_EQ(o.reserved, 12);
+    EXPECT_DOUBLE_EQ(o.eviction_rate, 0.1);
+    EXPECT_DOUBLE_EQ(o.spot_max_hours, 6.0);
+    EXPECT_EQ(o.short_wait, 3 * kSecondsPerHour);
+    EXPECT_EQ(o.long_wait, 48 * kSecondsPerHour);
+    EXPECT_EQ(o.seed, 99u);
+    EXPECT_EQ(o.output_dir, "/tmp/x");
+    EXPECT_DOUBLE_EQ(o.forecast_noise, 0.2);
+}
+
+TEST(CliOptions, HelpReturnsFalse)
+{
+    CliOptions options;
+    EXPECT_FALSE(parseCliOptions({"--help"}, options));
+    EXPECT_FALSE(parseCliOptions({"-h"}, options));
+    EXPECT_FALSE(cliUsage().empty());
+}
+
+TEST(CliOptions, WaitingSpecParsing)
+{
+    Seconds s = 0, l = 0;
+    parseWaitingSpec("0x0", s, l);
+    EXPECT_EQ(s, 0);
+    EXPECT_EQ(l, 0);
+    parseWaitingSpec("1.5x12", s, l);
+    EXPECT_EQ(s, hours(1.5));
+    EXPECT_EQ(l, hours(12));
+}
+
+TEST(CliOptions, StrategyAliases)
+{
+    CliOptions o;
+    o.strategy = "RES-FIRST";
+    EXPECT_EQ(o.resolvedStrategy(),
+              ResourceStrategy::ReservedFirst);
+    o.strategy = "OnDemand";
+    EXPECT_EQ(o.resolvedStrategy(),
+              ResourceStrategy::OnDemandOnly);
+    o.strategy = "spot-reserved";
+    EXPECT_EQ(o.resolvedStrategy(),
+              ResourceStrategy::SpotReserved);
+}
+
+TEST(CliOptions, WorkloadCsvBypassesNameCheck)
+{
+    const CliOptions o =
+        parse({"--workload-csv", "/tmp/jobs.csv"});
+    EXPECT_EQ(o.workload_csv, "/tmp/jobs.csv");
+}
+
+TEST(CliOptionsDeath, MalformedInputIsFatal)
+{
+    CliOptions o;
+    EXPECT_EXIT(parseCliOptions({"--bogus"}, o),
+                ::testing::ExitedWithCode(1), "unknown argument");
+    EXPECT_EXIT(parseCliOptions({"--jobs"}, o),
+                ::testing::ExitedWithCode(1), "missing value");
+    EXPECT_EXIT(parseCliOptions({"--jobs", "-5"}, o),
+                ::testing::ExitedWithCode(1), "must be positive");
+    EXPECT_EXIT(parseCliOptions({"--workload", "slurmzilla"}, o),
+                ::testing::ExitedWithCode(1), "unknown workload");
+    EXPECT_EXIT(parseCliOptions({"--strategy", "magic"}, o),
+                ::testing::ExitedWithCode(1), "unknown strategy");
+    EXPECT_EXIT(parseCliOptions({"-w", "6-24"}, o),
+                ::testing::ExitedWithCode(1), "SHORTxLONG");
+    EXPECT_EXIT(parseCliOptions({"-w", "-1x4"}, o),
+                ::testing::ExitedWithCode(1), "non-negative");
+}
+
+
+TEST(CliOptions, NewFidelityFlags)
+{
+    const CliOptions o = parse(
+        {"--forecaster", "Profile", "--startup-overhead-min", "5",
+         "--idle-power-fraction", "0.4"});
+    EXPECT_EQ(o.forecaster, "profile");
+    EXPECT_DOUBLE_EQ(o.startup_overhead_min, 5.0);
+    EXPECT_DOUBLE_EQ(o.idle_power_fraction, 0.4);
+}
+
+TEST(CliOptionsDeath, NewFlagValidation)
+{
+    CliOptions o;
+    EXPECT_EXIT(parseCliOptions({"--forecaster", "crystal-ball"},
+                                o),
+                ::testing::ExitedWithCode(1),
+                "unknown forecaster");
+    EXPECT_EXIT(parseCliOptions({"--idle-power-fraction", "1.5"},
+                                o),
+                ::testing::ExitedWithCode(1), "in \\[0,1\\]");
+    EXPECT_EXIT(
+        parseCliOptions({"--startup-overhead-min", "-1"}, o),
+        ::testing::ExitedWithCode(1), "non-negative");
+}
+
+} // namespace
+} // namespace gaia

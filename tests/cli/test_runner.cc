@@ -1,0 +1,185 @@
+/** @file Tests for the gaia_run execution path and its CSVs. */
+
+#include "cli/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace gaia {
+namespace {
+
+CliOptions
+smallRun(const std::string &subdir)
+{
+    CliOptions options;
+    options.workload = "motivating";
+    options.span_days = 2.0;
+    options.region = "SA-AU";
+    options.seed = 3;
+    options.output_dir =
+        (std::filesystem::temp_directory_path() / subdir).string();
+    return options;
+}
+
+TEST(CliRunner, ProducesAllThreeArtifacts)
+{
+    const CliOptions options = smallRun("gaia_cli_a");
+    RunArtifacts artifacts;
+    const SimulationResult result =
+        runFromOptions(options, &artifacts);
+
+    EXPECT_GT(result.outcomes.size(), 0u);
+    for (const std::string &path :
+         {artifacts.aggregate_csv, artifacts.details_csv,
+          artifacts.allocation_csv}) {
+        EXPECT_TRUE(std::filesystem::exists(path)) << path;
+    }
+
+    const CsvTable aggregate = readCsv(artifacts.aggregate_csv);
+    ASSERT_EQ(aggregate.rowCount(), 1u);
+    EXPECT_EQ(aggregate.cell(0, aggregate.columnIndex("policy")),
+              "Carbon-Time");
+    EXPECT_NEAR(aggregate.cellDouble(
+                    0, aggregate.columnIndex("carbon_kg")),
+                result.carbon_kg, 1e-4);
+
+    const CsvTable details = readCsv(artifacts.details_csv);
+    EXPECT_EQ(details.rowCount(), result.outcomes.size());
+
+    const CsvTable allocation = readCsv(artifacts.allocation_csv);
+    EXPECT_GT(allocation.rowCount(), 24u);
+    std::filesystem::remove_all(options.output_dir);
+}
+
+TEST(CliRunner, DetailsSumToAggregate)
+{
+    CliOptions options = smallRun("gaia_cli_b");
+    options.policy = "Lowest-Window";
+    RunArtifacts artifacts;
+    const SimulationResult result =
+        runFromOptions(options, &artifacts);
+
+    const CsvTable details = readCsv(artifacts.details_csv);
+    const auto carbon = details.columnDoubles("carbon_g");
+    double total_g = 0.0;
+    for (double g : carbon)
+        total_g += g;
+    EXPECT_NEAR(total_g / 1000.0, result.carbon_kg,
+                result.carbon_kg * 1e-3 + 1e-6);
+    std::filesystem::remove_all(options.output_dir);
+}
+
+TEST(CliRunner, HybridStrategyRunsWithReserved)
+{
+    CliOptions options = smallRun("gaia_cli_c");
+    options.strategy = "res-first";
+    options.reserved = 5;
+    options.policy = "AllWait-Threshold";
+    const SimulationResult result = runFromOptions(options);
+    EXPECT_GT(result.reserved_upfront, 0.0);
+    EXPECT_GT(result.reserved_core_seconds, 0.0);
+    std::filesystem::remove_all(options.output_dir);
+}
+
+TEST(CliRunner, OnDemandWithReservedFallsBackToHybrid)
+{
+    CliOptions options = smallRun("gaia_cli_d");
+    options.reserved = 3; // strategy stays "on-demand"
+    const SimulationResult result = runFromOptions(options);
+    EXPECT_EQ(result.strategy, "Hybrid");
+    std::filesystem::remove_all(options.output_dir);
+}
+
+TEST(CliRunner, CsvWorkloadAndCarbonInputs)
+{
+    // Write tiny input files, then run from them.
+    const auto dir =
+        std::filesystem::temp_directory_path() / "gaia_cli_e";
+    std::filesystem::create_directories(dir);
+    const std::string jobs_path = (dir / "jobs.csv").string();
+    const std::string carbon_path = (dir / "carbon.csv").string();
+    {
+        CsvWriter jobs(jobs_path, {"id", "submit", "length",
+                                   "cpus"});
+        jobs.writeRow({"1", "0", "3600", "1"});
+        jobs.writeRow({"2", "1800", "7200", "2"});
+        CsvWriter carbon(carbon_path,
+                         {"hour", "carbon_intensity"});
+        for (int h = 0; h < 24 * 5; ++h)
+            carbon.writeRow({std::to_string(h),
+                             fmt(100.0 + (h % 24) * 10.0, 1)});
+    }
+
+    CliOptions options;
+    options.workload_csv = jobs_path;
+    options.carbon_csv = carbon_path;
+    options.policy = "Lowest-Slot";
+    options.output_dir = (dir / "out").string();
+    const SimulationResult result = runFromOptions(options);
+    EXPECT_EQ(result.outcomes.size(), 2u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CliRunnerDeath, EmptyWorkloadIsFatal)
+{
+    const auto dir =
+        std::filesystem::temp_directory_path() / "gaia_cli_f";
+    std::filesystem::create_directories(dir);
+    const std::string jobs_path = (dir / "empty.csv").string();
+    {
+        CsvWriter jobs(jobs_path, {"id", "submit", "length",
+                                   "cpus"});
+    }
+    CliOptions options;
+    options.workload_csv = jobs_path;
+    EXPECT_EXIT(runFromOptions(options),
+                ::testing::ExitedWithCode(1), "empty");
+    std::filesystem::remove_all(dir);
+}
+
+
+TEST(CliRunner, ResampleAppliesThePaperPipeline)
+{
+    const auto dir =
+        std::filesystem::temp_directory_path() / "gaia_cli_g";
+    std::filesystem::create_directories(dir);
+    const std::string jobs_path = (dir / "month.csv").string();
+    {
+        CsvWriter jobs(jobs_path, {"id", "submit", "length",
+                                   "cpus"});
+        for (int i = 0; i < 50; ++i) {
+            jobs.writeRow({std::to_string(i),
+                           std::to_string(i * 3600),
+                           std::to_string(1800 + i * 600), "1"});
+        }
+    }
+    CliOptions options;
+    options.workload_csv = jobs_path;
+    options.resample = true;
+    options.jobs = 300;
+    options.span_days = 20.0;
+    options.region = "ON-CA";
+    options.output_dir = (dir / "out").string();
+    const SimulationResult r = runFromOptions(options);
+    EXPECT_EQ(r.outcomes.size(), 300u);
+    Seconds last = 0;
+    for (const JobOutcome &o : r.outcomes)
+        last = std::max(last, o.submit);
+    EXPECT_GT(last, days(15));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CliRunnerDeath, ResampleWithoutCsvRejected)
+{
+    CliOptions options;
+    EXPECT_EXIT(parseCliOptions({"--resample"}, options),
+                ::testing::ExitedWithCode(1),
+                "requires --workload-csv");
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,112 @@
+/** @file Tests for the spot eviction model. */
+
+#include "cloud/eviction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/time.h"
+
+namespace gaia {
+namespace {
+
+TEST(Eviction, ZeroRateNeverEvicts)
+{
+    const EvictionModel m(0.0);
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(m.sampleEvictionOffset(rng, 100 * kSecondsPerHour),
+                  -1);
+    EXPECT_DOUBLE_EQ(m.survivalProbability(kSecondsPerDay), 1.0);
+}
+
+TEST(Eviction, RateOneEvictsWithinFirstHour)
+{
+    const EvictionModel m(1.0);
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        const Seconds off =
+            m.sampleEvictionOffset(rng, 3 * kSecondsPerHour);
+        ASSERT_GE(off, 0);
+        EXPECT_LT(off, kSecondsPerHour);
+    }
+    EXPECT_DOUBLE_EQ(m.survivalProbability(kSecondsPerHour), 0.0);
+    EXPECT_DOUBLE_EQ(m.survivalProbability(0), 1.0);
+}
+
+TEST(Eviction, ZeroDurationSurvives)
+{
+    const EvictionModel m(0.9);
+    Rng rng(3);
+    EXPECT_EQ(m.sampleEvictionOffset(rng, 0), -1);
+}
+
+TEST(Eviction, OffsetsAlwaysWithinDuration)
+{
+    const EvictionModel m(0.3);
+    Rng rng(4);
+    const Seconds duration = 5 * kSecondsPerHour + 123;
+    for (int i = 0; i < 20000; ++i) {
+        const Seconds off = m.sampleEvictionOffset(rng, duration);
+        if (off >= 0) {
+            EXPECT_LT(off, duration);
+        }
+    }
+}
+
+TEST(Eviction, EmpiricalSurvivalMatchesAnalytic)
+{
+    const EvictionModel m(0.15);
+    Rng rng(5);
+    const Seconds duration = 6 * kSecondsPerHour;
+    int survived = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        survived += m.sampleEvictionOffset(rng, duration) < 0;
+    const double expected = m.survivalProbability(duration);
+    EXPECT_NEAR(static_cast<double>(survived) / n, expected, 0.006);
+    EXPECT_NEAR(expected, std::pow(0.85, 6.0), 1e-12);
+}
+
+TEST(Eviction, HazardIsConstantAcrossHours)
+{
+    // The fraction evicted in hour 2, conditioned on surviving hour
+    // 1, should match the per-hour rate.
+    const EvictionModel m(0.2);
+    Rng rng(6);
+    int reached_h2 = 0, evicted_h2 = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const Seconds off =
+            m.sampleEvictionOffset(rng, 3 * kSecondsPerHour);
+        if (off < 0 || off >= kSecondsPerHour) {
+            ++reached_h2;
+            if (off >= kSecondsPerHour &&
+                off < 2 * kSecondsPerHour)
+                ++evicted_h2;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(evicted_h2) / reached_h2, 0.2,
+                0.01);
+}
+
+TEST(Eviction, Deterministic)
+{
+    const EvictionModel m(0.25);
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(m.sampleEvictionOffset(a, kSecondsPerDay),
+                  m.sampleEvictionOffset(b, kSecondsPerDay));
+    }
+}
+
+TEST(EvictionDeath, RateOutOfRangeIsFatal)
+{
+    EXPECT_EXIT(EvictionModel(-0.1), ::testing::ExitedWithCode(1),
+                "eviction rate");
+    EXPECT_EXIT(EvictionModel(1.1), ::testing::ExitedWithCode(1),
+                "eviction rate");
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,99 @@
+/** @file Tests for pricing, energy, and purchase-option models. */
+
+#include "cloud/pricing.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/purchase.h"
+#include "common/time.h"
+
+namespace gaia {
+namespace {
+
+TEST(Purchase, Names)
+{
+    EXPECT_EQ(purchaseName(PurchaseOption::Reserved), "reserved");
+    EXPECT_EQ(purchaseName(PurchaseOption::OnDemand), "on-demand");
+    EXPECT_EQ(purchaseName(PurchaseOption::Spot), "spot");
+}
+
+TEST(Pricing, PaperDefaultRates)
+{
+    const PricingModel p;
+    EXPECT_DOUBLE_EQ(p.ratePerCoreHour(PurchaseOption::OnDemand),
+                     0.0624);
+    EXPECT_DOUBLE_EQ(p.ratePerCoreHour(PurchaseOption::Reserved),
+                     0.0624 * 0.40);
+    EXPECT_DOUBLE_EQ(p.ratePerCoreHour(PurchaseOption::Spot),
+                     0.0624 * 0.20);
+}
+
+TEST(Pricing, UsageCostScalesLinearly)
+{
+    const PricingModel p;
+    // 10 core-hours on demand.
+    EXPECT_DOUBLE_EQ(
+        p.usageCost(PurchaseOption::OnDemand, 10.0 * 3600.0),
+        0.624);
+    // Spot is exactly a fifth of that.
+    EXPECT_DOUBLE_EQ(
+        p.usageCost(PurchaseOption::Spot, 10.0 * 3600.0),
+        0.624 * 0.2);
+    EXPECT_DOUBLE_EQ(p.usageCost(PurchaseOption::OnDemand, 0.0), 0.0);
+}
+
+TEST(Pricing, ReservedUpfrontIgnoresUtilization)
+{
+    const PricingModel p;
+    // 5 cores for 2 days regardless of use.
+    const double expected = 0.0624 * 0.40 * 5 * 48.0;
+    EXPECT_DOUBLE_EQ(p.reservedUpfront(5, 2 * kSecondsPerDay),
+                     expected);
+    EXPECT_DOUBLE_EQ(p.reservedUpfront(0, kSecondsPerDay), 0.0);
+}
+
+TEST(PricingDeath, UsageBillingOfReservedRejected)
+{
+    const PricingModel p;
+    EXPECT_DEATH(p.usageCost(PurchaseOption::Reserved, 100.0),
+                 "billed upfront");
+    EXPECT_DEATH(p.usageCost(PurchaseOption::OnDemand, -1.0),
+                 "negative usage");
+}
+
+TEST(PricingDeath, ValidateCatchesNonsense)
+{
+    PricingModel p;
+    p.on_demand_per_core_hour = -1.0;
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1),
+                "negative on-demand price");
+    p = PricingModel{};
+    p.reserved_fraction = 1.5;
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1),
+                "reserved fraction");
+    p = PricingModel{};
+    p.spot_fraction = -0.1;
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1),
+                "spot fraction");
+    PricingModel ok;
+    ok.validate(); // must not exit
+}
+
+TEST(Energy, PowerAndEnergyConversions)
+{
+    const EnergyModel e{5.0};
+    EXPECT_DOUBLE_EQ(e.kilowatts(4), 0.02);
+    EXPECT_DOUBLE_EQ(e.kilowatts(0), 0.0);
+    // 2 core-hours at 5 W/core -> 10 Wh -> 0.01 kWh.
+    EXPECT_DOUBLE_EQ(e.kilowattHours(2.0 * 3600.0), 0.01);
+}
+
+TEST(EnergyDeath, NegativeInputsRejected)
+{
+    const EnergyModel e;
+    EXPECT_DEATH(e.kilowatts(-1), "negative core count");
+    EXPECT_DEATH(e.kilowattHours(-5.0), "negative usage");
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,81 @@
+/** @file Tests for the CSV reader/writer. */
+
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace gaia {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+TEST(Csv, ParseTextWithHeaderAndRows)
+{
+    const CsvTable t = readCsvText("a,b\n1,2\n3,4\n");
+    EXPECT_EQ(t.columnCount(), 2u);
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.cell(0, 0), "1");
+    EXPECT_EQ(t.cellInt(1, 1), 4);
+    EXPECT_DOUBLE_EQ(t.cellDouble(1, 0), 3.0);
+}
+
+TEST(Csv, TrimsFieldsAndSkipsBlankLines)
+{
+    const CsvTable t = readCsvText(" a , b \n 1 , 2 \n\n 3 , 4 \n");
+    EXPECT_EQ(t.columnIndex("a"), 0u);
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.cell(1, 1), "4");
+}
+
+TEST(Csv, ColumnExtraction)
+{
+    const CsvTable t = readCsvText("x,y\n1,10\n2,20\n3,30\n");
+    const auto ys = t.columnDoubles("y");
+    ASSERT_EQ(ys.size(), 3u);
+    EXPECT_DOUBLE_EQ(ys[2], 30.0);
+}
+
+TEST(CsvDeath, StructuralErrorsAreFatal)
+{
+    EXPECT_EXIT(readCsvText(""), ::testing::ExitedWithCode(1),
+                "empty CSV");
+    EXPECT_EXIT(readCsvText("a,b\n1\n"), ::testing::ExitedWithCode(1),
+                "has 1 fields, expected 2");
+    const CsvTable t = readCsvText("a\n1\n");
+    EXPECT_EXIT(t.columnIndex("missing"),
+                ::testing::ExitedWithCode(1), "not found");
+    EXPECT_EXIT(readCsv("/nonexistent/file.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Csv, WriterRoundTrip)
+{
+    const std::string path = tempPath("roundtrip.csv");
+    {
+        CsvWriter w(path, {"id", "value"});
+        w.writeRow({"1", "3.5"});
+        w.writeRow({"2", "4.5"});
+    }
+    const CsvTable t = readCsv(path);
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_DOUBLE_EQ(t.cellDouble(1, 1), 4.5);
+    std::remove(path.c_str());
+}
+
+TEST(CsvDeath, WriterRejectsRaggedRows)
+{
+    const std::string path = tempPath("ragged.csv");
+    CsvWriter w(path, {"a", "b"});
+    EXPECT_DEATH(w.writeRow({"only-one"}), "row width 1");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,52 @@
+/** @file Tests for the logging/error-reporting helpers. */
+
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace gaia {
+namespace {
+
+TEST(Logging, ConcatStitchesArguments)
+{
+    EXPECT_EQ(detail::concat("a", 1, "-", 2.5), "a1-2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(Logging, WarnIncrementsCounter)
+{
+    setQuiet(true);
+    const std::size_t before = warningCount();
+    warn("something odd: ", 42);
+    warn("again");
+    EXPECT_EQ(warningCount(), before + 2);
+    setQuiet(false);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant ", 7, " broken"),
+                 "panic: invariant 7 broken");
+}
+
+TEST(LoggingDeath, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("bad input ", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad input x");
+}
+
+TEST(LoggingDeath, AssertMacroReportsExpressionAndLocation)
+{
+    const int value = 3;
+    EXPECT_DEATH(GAIA_ASSERT(value == 4, "value was ", value),
+                 "assertion failed: value == 4.*value was 3");
+}
+
+TEST(Logging, AssertMacroPassesSilently)
+{
+    GAIA_ASSERT(1 + 1 == 2, "arithmetic is broken");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,50 @@
+/** @file Tests for aligned text-table rendering. */
+
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace gaia {
+namespace {
+
+TEST(TextTable, RendersTitleHeaderAndRows)
+{
+    TextTable t("Demo", {"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow("beta", {2.5}, 1);
+    const std::string out = t.toString();
+    EXPECT_NE(out.find("== Demo =="), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("2.5"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, ColumnsAreAligned)
+{
+    TextTable t("Align", {"a", "b"});
+    t.addRow({"xxxxxxxx", "1"});
+    t.addRow({"y", "2"});
+    const std::string out = t.toString();
+    // Both value cells must start at the same column.
+    const auto line_of = [&](const std::string &needle) {
+        const std::size_t pos = out.find(needle);
+        EXPECT_NE(pos, std::string::npos);
+        const std::size_t bol = out.rfind('\n', pos) + 1;
+        return out.substr(bol, out.find('\n', pos) - bol);
+    };
+    const std::string row1 = line_of("xxxxxxxx");
+    const std::string row2 = line_of("y ");
+    EXPECT_EQ(row1.find('1'), row2.find('2'));
+}
+
+TEST(TextTableDeath, WidthMismatchesRejected)
+{
+    TextTable t("Bad", {"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+    EXPECT_DEATH(t.addRow("label", {1.0, 2.0}),
+                 "label\\+values width mismatch");
+}
+
+} // namespace
+} // namespace gaia

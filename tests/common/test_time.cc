@@ -1,0 +1,78 @@
+/** @file Tests for simulation-time helpers. */
+
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace gaia {
+namespace {
+
+TEST(Time, UnitConversions)
+{
+    EXPECT_EQ(minutes(2), 120);
+    EXPECT_EQ(hours(1.5), 5400);
+    EXPECT_EQ(days(2), 2 * 86400);
+    EXPECT_DOUBLE_EQ(toHours(5400), 1.5);
+}
+
+TEST(Time, SlotArithmetic)
+{
+    EXPECT_EQ(slotOf(0), 0);
+    EXPECT_EQ(slotOf(3599), 0);
+    EXPECT_EQ(slotOf(3600), 1);
+    EXPECT_EQ(slotStart(3), 3 * 3600);
+}
+
+TEST(Time, NextSlotBoundary)
+{
+    EXPECT_EQ(nextSlotBoundary(0), 0);
+    EXPECT_EQ(nextSlotBoundary(1), 3600);
+    EXPECT_EQ(nextSlotBoundary(3600), 3600);
+    EXPECT_EQ(nextSlotBoundary(3601), 7200);
+}
+
+TEST(Time, HourOfDayWraps)
+{
+    EXPECT_EQ(hourOfDay(0), 0);
+    EXPECT_EQ(hourOfDay(hours(23)), 23);
+    EXPECT_EQ(hourOfDay(hours(24)), 0);
+    EXPECT_EQ(hourOfDay(hours(25) + 59), 1);
+}
+
+TEST(Time, DayAndMonth)
+{
+    EXPECT_EQ(dayOf(0), 0);
+    EXPECT_EQ(dayOf(kSecondsPerDay - 1), 0);
+    EXPECT_EQ(dayOf(kSecondsPerDay), 1);
+
+    EXPECT_EQ(monthOf(0), 0);                       // Jan 1
+    EXPECT_EQ(monthOf(days(30)), 0);                // Jan 31
+    EXPECT_EQ(monthOf(days(31)), 1);                // Feb 1
+    EXPECT_EQ(monthOf(days(31 + 28)), 2);           // Mar 1
+    EXPECT_EQ(monthOf(days(364)), 11);              // Dec 31
+    EXPECT_EQ(monthOf(days(365)), 0);               // wraps to Jan
+}
+
+TEST(Time, MonthNames)
+{
+    EXPECT_EQ(monthName(0), "Jan");
+    EXPECT_EQ(monthName(11), "Dec");
+}
+
+TEST(Time, FormatDuration)
+{
+    EXPECT_EQ(formatDuration(0), "00h 00m 00s");
+    EXPECT_EQ(formatDuration(minutes(61)), "01h 01m 00s");
+    EXPECT_EQ(formatDuration(days(2) + hours(3) + 15),
+              "2d 03h 00m 15s");
+    EXPECT_EQ(formatDuration(-minutes(5)), "-00h 05m 00s");
+}
+
+TEST(TimeDeath, NegativeTimesRejected)
+{
+    EXPECT_DEATH(slotOf(-1), "negative simulation time");
+    EXPECT_DEATH(dayOf(-5), "negative simulation time");
+}
+
+} // namespace
+} // namespace gaia

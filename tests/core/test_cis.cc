@@ -1,0 +1,91 @@
+/** @file Tests for the Carbon Information Service. */
+
+#include "core/cis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+
+namespace gaia {
+namespace {
+
+CarbonTrace
+makeTrace()
+{
+    return CarbonTrace("t", {100.0, 200.0, 50.0, 400.0, 300.0});
+}
+
+TEST(Cis, PerfectForecastMatchesTrace)
+{
+    const CarbonTrace trace = makeTrace();
+    const CarbonInfoService cis(trace);
+    EXPECT_DOUBLE_EQ(cis.intensityAt(0), 100.0);
+    EXPECT_DOUBLE_EQ(cis.forecastAtSlot(0, 3), 400.0);
+    EXPECT_DOUBLE_EQ(cis.forecastIntegrate(0, 0, 2 * 3600),
+                     trace.integrate(0, 2 * 3600));
+    EXPECT_EQ(cis.forecastMinSlot(0, 0, 5 * 3600), 2);
+    EXPECT_DOUBLE_EQ(cis.forecastPercentile(0, 0, 5 * 3600, 0.0),
+                     50.0);
+}
+
+TEST(Cis, NoisyForecastIsDeterministic)
+{
+    const CarbonTrace trace = makeTrace();
+    const CarbonInfoService a(trace, 0.2, 5);
+    const CarbonInfoService b(trace, 0.2, 5);
+    for (SlotIndex s = 0; s < 5; ++s)
+        EXPECT_DOUBLE_EQ(a.forecastAtSlot(0, s),
+                         b.forecastAtSlot(0, s));
+}
+
+TEST(Cis, NoiseSeedChangesForecasts)
+{
+    const CarbonTrace trace = makeTrace();
+    const CarbonInfoService a(trace, 0.2, 5);
+    const CarbonInfoService b(trace, 0.2, 6);
+    bool any_diff = false;
+    for (SlotIndex s = 1; s < 5; ++s)
+        any_diff |= a.forecastAtSlot(0, s) != b.forecastAtSlot(0, s);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Cis, CurrentSlotIsAlwaysExact)
+{
+    const CarbonTrace trace = makeTrace();
+    const CarbonInfoService cis(trace, 0.5, 7);
+    // Slot 1 is "now": must be the measured value.
+    EXPECT_DOUBLE_EQ(cis.forecastAtSlot(3600 + 10, 1), 200.0);
+    // Past slots are also exact.
+    EXPECT_DOUBLE_EQ(cis.forecastAtSlot(2 * 3600, 0), 100.0);
+    // Future slots are perturbed (with overwhelming probability).
+    EXPECT_NE(cis.forecastAtSlot(0, 3), 400.0);
+}
+
+TEST(Cis, NoisyForecastsStayPositive)
+{
+    const CarbonTrace trace = makeTrace();
+    const CarbonInfoService cis(trace, 1.0, 11);
+    for (SlotIndex s = 0; s < 5; ++s)
+        EXPECT_GT(cis.forecastAtSlot(0, s), 0.0);
+}
+
+TEST(Cis, NoisyIntegralConsistentWithSlotForecasts)
+{
+    const CarbonTrace trace = makeTrace();
+    const CarbonInfoService cis(trace, 0.3, 13);
+    const double integral = cis.forecastIntegrate(0, 3600, 3 * 3600);
+    const double manual = cis.forecastAtSlot(0, 1) * 3600 +
+                          cis.forecastAtSlot(0, 2) * 3600;
+    EXPECT_NEAR(integral, manual, 1e-9);
+}
+
+TEST(CisDeath, NegativeNoiseRejected)
+{
+    const CarbonTrace trace = makeTrace();
+    EXPECT_EXIT(CarbonInfoService(trace, -0.1),
+                ::testing::ExitedWithCode(1),
+                "negative forecast noise");
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,306 @@
+/** @file Hand-computed scenario tests for each scheduling policy. */
+
+#include "core/policies.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+#include "core/cis.h"
+
+namespace gaia {
+namespace {
+
+/** Fixture assembling a trace/CIS/queue around a policy call. */
+class PolicyTest : public ::testing::Test
+{
+  protected:
+    SchedulePlan
+    planFor(const SchedulingPolicy &policy,
+            const std::vector<double> &hourly, Seconds submit,
+            Seconds length, Seconds max_wait,
+            Seconds avg_length = 0)
+    {
+        CarbonTrace trace("test", hourly);
+        CarbonInfoService cis(trace);
+        QueueSpec queue{"q", 3 * kSecondsPerDay, max_wait,
+                        avg_length};
+        Job job{1, submit, length, 1};
+        PlanContext ctx{submit, &cis, &queue};
+        return policy.plan(job, ctx);
+    }
+};
+
+TEST_F(PolicyTest, NoWaitStartsImmediately)
+{
+    const NoWaitPolicy policy;
+    const SchedulePlan plan = planFor(
+        policy, {500, 1, 1, 1}, 1234, hours(2), hours(3));
+    EXPECT_EQ(plan.segmentCount(), 1u);
+    EXPECT_EQ(plan.plannedStart(), 1234);
+    EXPECT_EQ(plan.totalRunTime(), hours(2));
+}
+
+TEST_F(PolicyTest, AllWaitDelaysToTheLimit)
+{
+    const AllWaitThresholdPolicy policy;
+    const SchedulePlan plan = planFor(
+        policy, {1, 500, 500, 500, 500}, 600, hours(1), hours(3));
+    EXPECT_EQ(plan.plannedStart(), 600 + hours(3));
+}
+
+TEST_F(PolicyTest, LowestSlotPicksGlobalMinimumInWindow)
+{
+    const LowestSlotPolicy policy;
+    // Slots: 500, 100, 300, 50, 400, 600 — min in [0, 4h] is slot 3.
+    const SchedulePlan plan =
+        planFor(policy, {500, 100, 300, 50, 400, 600}, 0, hours(1),
+                hours(4));
+    EXPECT_EQ(plan.plannedStart(), hours(3));
+}
+
+TEST_F(PolicyTest, LowestSlotStartsNowWhenCurrentSlotIsCheapest)
+{
+    const LowestSlotPolicy policy;
+    const SchedulePlan plan = planFor(
+        policy, {10, 500, 500, 500, 500}, 1800, hours(1), hours(3));
+    EXPECT_EQ(plan.plannedStart(), 1800);
+}
+
+TEST_F(PolicyTest, LowestSlotHonoursMidSlotSubmission)
+{
+    const LowestSlotPolicy policy;
+    // Min slot (3) starts after submission; start at its boundary.
+    const SchedulePlan plan =
+        planFor(policy, {500, 100, 300, 50, 400, 600}, 1800,
+                hours(1), hours(4));
+    EXPECT_EQ(plan.plannedStart(), hours(3));
+}
+
+TEST_F(PolicyTest, LowestWindowMinimizesIntegral)
+{
+    const LowestWindowPolicy policy;
+    // J_avg = 2 h windows: [0]: 600, [1h]: 400, [2h]: 350,
+    // [3h]: 450, [4h]: 1000 -> best start 2 h.
+    const SchedulePlan plan =
+        planFor(policy, {500, 100, 300, 50, 400, 600}, 0, hours(5),
+                hours(4), hours(2));
+    EXPECT_EQ(plan.plannedStart(), hours(2));
+}
+
+TEST_F(PolicyTest, LowestWindowUsesQueueAverageNotTrueLength)
+{
+    const LowestWindowPolicy policy;
+    // With J_avg = 1 h the best single slot is 3 (50) even though
+    // the true length is 5 h.
+    const SchedulePlan plan =
+        planFor(policy, {500, 100, 300, 50, 400, 600}, 0, hours(5),
+                hours(4), hours(1));
+    EXPECT_EQ(plan.plannedStart(), hours(3));
+    EXPECT_EQ(plan.totalRunTime(), hours(5));
+}
+
+TEST_F(PolicyTest, CarbonTimeWeighsSavingsAgainstDelay)
+{
+    const CarbonTimePolicy policy;
+    // J_avg = 2 h. Savings/completion-time: start 1 h -> 200/3 h;
+    // 2 h -> 250/4 h; 3 h -> 150/5 h. CST prefers 1 h even though
+    // 2 h saves more carbon.
+    const SchedulePlan plan =
+        planFor(policy, {500, 100, 300, 50, 400, 600}, 0, hours(2),
+                hours(4), hours(2));
+    EXPECT_EQ(plan.plannedStart(), hours(1));
+}
+
+TEST_F(PolicyTest, CarbonTimeNeverWaitsOnFlatIntensity)
+{
+    const CarbonTimePolicy policy;
+    const SchedulePlan plan =
+        planFor(policy, {200, 200, 200, 200, 200}, 900, hours(1),
+                hours(3), hours(1));
+    EXPECT_EQ(plan.plannedStart(), 900);
+}
+
+TEST_F(PolicyTest, CarbonTimeIgnoresNegativeSavings)
+{
+    const CarbonTimePolicy policy;
+    // Rising intensity: waiting only adds carbon.
+    const SchedulePlan plan = planFor(
+        policy, {10, 50, 100, 200, 400}, 0, hours(1), hours(3),
+        hours(1));
+    EXPECT_EQ(plan.plannedStart(), 0);
+}
+
+TEST_F(PolicyTest, WaitAwhilePicksCheapestSlotsContiguous)
+{
+    const WaitAwhilePolicy policy;
+    // J = 2 h, W = 1 h -> deadline 3 h; slots {500, 100, 300}.
+    // Cheapest two: slots 1 and 2 -> one contiguous run [1h, 3h).
+    const SchedulePlan plan = planFor(
+        policy, {500, 100, 300, 999}, 0, hours(2), hours(1));
+    ASSERT_EQ(plan.segmentCount(), 1u);
+    EXPECT_EQ(plan.plannedStart(), hours(1));
+    EXPECT_EQ(plan.plannedEnd(), hours(3));
+}
+
+TEST_F(PolicyTest, WaitAwhileSuspendsAcrossExpensiveSlots)
+{
+    const WaitAwhilePolicy policy;
+    // J = 2 h, W = 2 h -> deadline 4 h; slots {500, 100, 300, 50}.
+    // Cheapest two are 1 and 3 -> two segments.
+    const SchedulePlan plan = planFor(
+        policy, {500, 100, 300, 50, 999}, 0, hours(2), hours(2));
+    ASSERT_EQ(plan.segmentCount(), 2u);
+    EXPECT_EQ(plan.segment(0).start, hours(1));
+    EXPECT_EQ(plan.segment(0).end, hours(2));
+    EXPECT_EQ(plan.segment(1).start, hours(3));
+    EXPECT_EQ(plan.segment(1).end, hours(4));
+}
+
+TEST_F(PolicyTest, WaitAwhileUsesPartialSlots)
+{
+    const WaitAwhilePolicy policy;
+    // Submit mid-slot 0 (cheap); J = 1 h, W = 1 h. Takes the 30
+    // remaining minutes of slot 0, then the earliest 30 minutes of
+    // the tied-cheapest later slot (slot 1 at 1000 vs slot 2 at
+    // 1000 -> slot 1 first).
+    const SchedulePlan plan = planFor(
+        policy, {10, 1000, 1000, 1000}, 1800, hours(1), hours(1));
+    ASSERT_EQ(plan.segmentCount(), 1u); // abutting -> merged
+    EXPECT_EQ(plan.plannedStart(), 1800);
+    EXPECT_EQ(plan.plannedEnd(), 1800 + hours(1));
+}
+
+TEST_F(PolicyTest, WaitAwhileRespectsDeadline)
+{
+    const WaitAwhilePolicy policy;
+    const Seconds length = hours(3);
+    const Seconds wait = hours(5);
+    const SchedulePlan plan = planFor(
+        policy, {900, 800, 700, 600, 500, 400, 300, 200, 100, 50},
+        600, length, wait);
+    EXPECT_EQ(plan.totalRunTime(), length);
+    EXPECT_LE(plan.plannedEnd(), 600 + length + wait);
+    EXPECT_GE(plan.plannedStart(), 600);
+}
+
+TEST_F(PolicyTest, EcovisorRunsBelowThresholdOnly)
+{
+    const EcovisorPolicy policy;
+    // 24-hour trace: slots 0-2 at 100, 3-7 at 10, rest at 50.
+    // 30th percentile = 50, so execution begins at slot 3.
+    std::vector<double> hourly(24, 50.0);
+    hourly[0] = hourly[1] = hourly[2] = 100.0;
+    for (int s = 3; s < 8; ++s)
+        hourly[s] = 10.0;
+    const SchedulePlan plan =
+        planFor(policy, hourly, 0, hours(2), hours(6));
+    ASSERT_EQ(plan.segmentCount(), 1u);
+    EXPECT_EQ(plan.plannedStart(), hours(3));
+    EXPECT_EQ(plan.plannedEnd(), hours(5));
+}
+
+TEST_F(PolicyTest, EcovisorForcedRunAfterWaitBudget)
+{
+    const EcovisorPolicy policy;
+    std::vector<double> hourly(24, 50.0);
+    hourly[0] = hourly[1] = hourly[2] = 100.0;
+    for (int s = 3; s < 8; ++s)
+        hourly[s] = 10.0;
+    // Only 2 h of waiting allowed: must start at 2 h regardless of
+    // slot 2 being expensive.
+    const SchedulePlan plan =
+        planFor(policy, hourly, 0, hours(2), hours(2));
+    EXPECT_EQ(plan.plannedStart(), hours(2));
+    EXPECT_EQ(plan.plannedEnd(), hours(4));
+}
+
+TEST_F(PolicyTest, EcovisorExhaustsBudgetMidSlot)
+{
+    const EcovisorPolicy policy;
+    std::vector<double> hourly(24, 100.0);
+    for (int s = 8; s < 20; ++s)
+        hourly[s] = 10.0; // threshold will be 10; early slots high
+    const SchedulePlan plan =
+        planFor(policy, hourly, 0, hours(2), minutes(90));
+    // Budget (90 min) exhausts inside slot 1.
+    EXPECT_EQ(plan.plannedStart(), minutes(90));
+    EXPECT_EQ(plan.totalRunTime(), hours(2));
+}
+
+TEST_F(PolicyTest, EcovisorSuspendsAgainAfterRunning)
+{
+    const EcovisorPolicy policy;
+    std::vector<double> hourly(24, 100.0);
+    hourly[0] = 10.0;
+    hourly[2] = 10.0;
+    for (int s = 10; s < 17; ++s)
+        hourly[s] = 10.0; // keep the 30th percentile at 10
+    const SchedulePlan plan =
+        planFor(policy, hourly, 0, hours(2), hours(6));
+    ASSERT_EQ(plan.segmentCount(), 2u);
+    EXPECT_EQ(plan.segment(0).start, 0);
+    EXPECT_EQ(plan.segment(0).end, hours(1));
+    EXPECT_EQ(plan.segment(1).start, hours(2));
+    EXPECT_EQ(plan.segment(1).end, hours(3));
+}
+
+TEST_F(PolicyTest, ZeroWaitWindowDegeneratesToNoWait)
+{
+    const LowestWindowPolicy lw;
+    const CarbonTimePolicy ct;
+    const LowestSlotPolicy ls;
+    for (const SchedulingPolicy *policy :
+         std::initializer_list<const SchedulingPolicy *>{&lw, &ct,
+                                                         &ls}) {
+        const SchedulePlan plan =
+            planFor(*policy, {500, 1, 1}, 700, hours(1), 0,
+                    hours(1));
+        EXPECT_EQ(plan.plannedStart(), 700) << policy->name();
+    }
+}
+
+TEST_F(PolicyTest, CapabilityFlagsMatchTable1)
+{
+    EXPECT_EQ(NoWaitPolicy().lengthKnowledge(),
+              LengthKnowledge::None);
+    EXPECT_FALSE(NoWaitPolicy().carbonAware());
+    EXPECT_FALSE(AllWaitThresholdPolicy().carbonAware());
+    EXPECT_EQ(WaitAwhilePolicy().lengthKnowledge(),
+              LengthKnowledge::Exact);
+    EXPECT_TRUE(WaitAwhilePolicy().suspendResume());
+    EXPECT_TRUE(EcovisorPolicy().carbonAware());
+    EXPECT_TRUE(EcovisorPolicy().suspendResume());
+    EXPECT_TRUE(LowestSlotPolicy().carbonAware());
+    EXPECT_EQ(LowestSlotPolicy().lengthKnowledge(),
+              LengthKnowledge::None);
+    EXPECT_EQ(LowestWindowPolicy().lengthKnowledge(),
+              LengthKnowledge::QueueAverage);
+    EXPECT_FALSE(LowestWindowPolicy().performanceAware());
+    EXPECT_TRUE(CarbonTimePolicy().performanceAware());
+    EXPECT_TRUE(CarbonTimePolicy().carbonAware());
+}
+
+TEST_F(PolicyTest, FinerGranularityNeverHurtsLowestWindow)
+{
+    // 5-minute candidates must find a start at least as good as
+    // hourly candidates (the slot-granularity ablation premise).
+    const std::vector<double> hourly = {500, 100, 300, 50,
+                                        400, 600, 90};
+    CarbonTrace trace("test", hourly);
+    CarbonInfoService cis(trace);
+    QueueSpec queue{"q", days(3), hours(4), hours(2)};
+    Job job{1, 1000, hours(2), 1};
+    PlanContext ctx{1000, &cis, &queue};
+
+    const SchedulePlan coarse = LowestWindowPolicy(0).plan(job, ctx);
+    const SchedulePlan fine =
+        LowestWindowPolicy(minutes(5)).plan(job, ctx);
+    const auto cost = [&](const SchedulePlan &p) {
+        return trace.integrate(p.plannedStart(),
+                               p.plannedStart() + hours(2));
+    };
+    EXPECT_LE(cost(fine), cost(coarse));
+}
+
+} // namespace
+} // namespace gaia

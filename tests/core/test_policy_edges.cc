@@ -1,0 +1,165 @@
+/** @file Edge-case tests for the scheduling policies. */
+
+#include <gtest/gtest.h>
+
+#include "core/cis.h"
+#include "core/policies.h"
+#include "core/policy_factory.h"
+
+namespace gaia {
+namespace {
+
+SchedulePlan
+planWith(const SchedulingPolicy &policy,
+         const std::vector<double> &hourly, Seconds submit,
+         Seconds length, Seconds max_wait, Seconds avg = 0)
+{
+    CarbonTrace trace("edge", hourly);
+    CarbonInfoService cis(trace);
+    QueueSpec queue{"q", 30 * kSecondsPerDay, max_wait, avg};
+    Job job{1, submit, length, 1};
+    PlanContext ctx{submit, &cis, &queue};
+    return policy.plan(job, ctx);
+}
+
+TEST(PolicyEdges, OneSecondJob)
+{
+    const std::vector<double> trace = {500, 100, 300};
+    const LowestSlotPolicy lowest_slot;
+    const CarbonTimePolicy carbon_time;
+    for (const SchedulingPolicy *policy :
+         std::initializer_list<const SchedulingPolicy *>{
+             &lowest_slot, &carbon_time}) {
+        const SchedulePlan plan =
+            planWith(*policy, trace, 0, 1, hours(2), hours(1));
+        EXPECT_EQ(plan.totalRunTime(), 1);
+        EXPECT_GE(plan.plannedStart(), 0);
+        EXPECT_LE(plan.plannedStart(), hours(2));
+    }
+}
+
+TEST(PolicyEdges, WaitAwhileWithZeroWaitRunsContiguously)
+{
+    // Deadline = submit + J: every available second must be used,
+    // so the plan is one contiguous segment starting now.
+    const WaitAwhilePolicy policy;
+    const SchedulePlan plan = planWith(
+        policy, {900, 1, 900, 1}, 1234, hours(2), 0);
+    ASSERT_EQ(plan.segmentCount(), 1u);
+    EXPECT_EQ(plan.plannedStart(), 1234);
+    EXPECT_EQ(plan.plannedEnd(), 1234 + hours(2));
+}
+
+TEST(PolicyEdges, EcovisorWithZeroWaitRunsImmediately)
+{
+    const EcovisorPolicy policy;
+    const SchedulePlan plan = planWith(
+        policy, std::vector<double>(48, 100.0), 500, hours(3), 0);
+    ASSERT_EQ(plan.segmentCount(), 1u);
+    EXPECT_EQ(plan.plannedStart(), 500);
+}
+
+TEST(PolicyEdges, EcovisorExtremeThresholds)
+{
+    std::vector<double> hourly(48, 100.0);
+    hourly[0] = 500.0;
+    // 0th percentile: nothing qualifies until the budget runs out.
+    const EcovisorPolicy strict(0.0);
+    const SchedulePlan p1 =
+        planWith(strict, hourly, 0, hours(1), hours(2));
+    EXPECT_GE(p1.plannedStart(), 0);
+    EXPECT_EQ(p1.totalRunTime(), hours(1));
+    // 100th percentile: everything qualifies; run immediately.
+    const EcovisorPolicy lax(100.0);
+    const SchedulePlan p2 =
+        planWith(lax, hourly, 0, hours(1), hours(6));
+    EXPECT_EQ(p2.plannedStart(), 0);
+    EXPECT_EQ(p2.segmentCount(), 1u);
+}
+
+TEST(PolicyEdges, WindowBeyondTraceEndUsesClampedValues)
+{
+    // Two-slot trace, but the waiting window reaches far past its
+    // end; the CIS clamps to the last value, so planning must not
+    // crash and the waiting bound must hold.
+    const std::vector<double> tiny = {50.0, 400.0};
+    for (const char *name :
+         {"Lowest-Slot", "Lowest-Window", "Carbon-Time"}) {
+        SCOPED_TRACE(name);
+        const PolicyPtr policy = makePolicy(name);
+        const SchedulePlan plan = planWith(
+            *policy, tiny, kSecondsPerHour + 100, hours(4),
+            hours(24), hours(2));
+        EXPECT_LE(plan.plannedStart(),
+                  kSecondsPerHour + 100 + hours(24));
+        EXPECT_EQ(plan.totalRunTime(), hours(4));
+    }
+}
+
+TEST(PolicyEdges, LowestSlotPrefersEarliestAmongTies)
+{
+    const LowestSlotPolicy policy;
+    const SchedulePlan plan = planWith(
+        policy, {300, 100, 100, 100}, 0, hours(1), hours(3));
+    EXPECT_EQ(plan.plannedStart(), hours(1));
+}
+
+TEST(PolicyEdges, CarbonTimePrefersEarlierOfEqualCst)
+{
+    // Two identical dips: equal savings, but the earlier one has
+    // the shorter completion time, hence strictly higher CST.
+    const CarbonTimePolicy policy;
+    const SchedulePlan plan = planWith(
+        policy, {300, 50, 300, 50, 300}, 0, hours(1), hours(4),
+        hours(1));
+    EXPECT_EQ(plan.plannedStart(), hours(1));
+}
+
+TEST(PolicyEdges, LongJobBeyondQueueBoundStillPlans)
+{
+    // Catch-all queues admit jobs longer than their nominal bound;
+    // policies must still produce valid plans.
+    const WaitAwhilePolicy policy;
+    CarbonTrace trace("edge", std::vector<double>(24 * 40, 100.0));
+    CarbonInfoService cis(trace);
+    QueueSpec queue{"long", 3 * kSecondsPerDay,
+                    24 * kSecondsPerHour, 0};
+    Job job{1, 0, 5 * kSecondsPerDay, 1}; // exceeds the bound
+    PlanContext ctx{0, &cis, &queue};
+    const SchedulePlan plan = policy.plan(job, ctx);
+    EXPECT_EQ(plan.totalRunTime(), 5 * kSecondsPerDay);
+}
+
+TEST(PolicyEdges, WideJobPlansLikeNarrowJob)
+{
+    // CPU width is placement's concern, not timing's: a 100-core
+    // job gets the same start as a 1-core job.
+    const LowestWindowPolicy policy;
+    CarbonTrace trace("edge", {500, 100, 300, 50, 400, 600});
+    CarbonInfoService cis(trace);
+    QueueSpec queue{"q", 30 * kSecondsPerDay, hours(4), hours(2)};
+    Job narrow{1, 0, hours(2), 1};
+    Job wide{2, 0, hours(2), 100};
+    PlanContext ctx{0, &cis, &queue};
+    EXPECT_EQ(policy.plan(narrow, ctx).plannedStart(),
+              policy.plan(wide, ctx).plannedStart());
+}
+
+TEST(PolicyEdgesDeath, ContextMisuseIsCaught)
+{
+    const NoWaitPolicy policy;
+    CarbonTrace trace("edge", {100.0});
+    CarbonInfoService cis(trace);
+    QueueSpec queue{"q", kSecondsPerDay, 0, 0};
+    Job job{1, 100, 600, 1};
+
+    PlanContext no_cis{100, nullptr, &queue};
+    EXPECT_DEATH(policy.plan(job, no_cis), "without a CIS");
+    PlanContext no_queue{100, &cis, nullptr};
+    EXPECT_DEATH(policy.plan(job, no_queue), "without a queue");
+    PlanContext wrong_time{50, &cis, &queue};
+    EXPECT_DEATH(policy.plan(job, wrong_time), "submitted at");
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,69 @@
+/** @file Tests for policy construction and Table 1 metadata. */
+
+#include "core/policy_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace gaia {
+namespace {
+
+TEST(PolicyFactory, BuildsEveryCanonicalName)
+{
+    for (const std::string &name : allPolicyNames()) {
+        const PolicyPtr policy = makePolicy(name);
+        ASSERT_NE(policy, nullptr) << name;
+        EXPECT_EQ(policy->name(), name);
+    }
+}
+
+TEST(PolicyFactory, NamesAreCaseInsensitive)
+{
+    EXPECT_EQ(makePolicy("carbon-time")->name(), "Carbon-Time");
+    EXPECT_EQ(makePolicy("WAITAWHILE")->name(), "Wait-Awhile");
+    EXPECT_EQ(makePolicy("AllWait")->name(), "AllWait-Threshold");
+}
+
+TEST(PolicyFactoryDeath, UnknownPolicyIsFatal)
+{
+    EXPECT_EXIT(makePolicy("Random-First"),
+                ::testing::ExitedWithCode(1), "unknown policy");
+}
+
+TEST(PolicyFactory, Table1Capabilities)
+{
+    // The paper's Table 1, row by row.
+    struct Row
+    {
+        const char *name;
+        const char *length;
+        bool carbon;
+        bool perf;
+    };
+    const Row rows[] = {
+        {"NoWait", "-", false, false},
+        {"AllWait-Threshold", "-", false, false},
+        {"Wait-Awhile", "Yes", true, false},
+        {"Ecovisor", "-", true, false},
+        {"Lowest-Slot", "-", true, false},
+        {"Lowest-Window", "J_avg", true, false},
+        {"Carbon-Time", "J_avg", true, true},
+    };
+    for (const Row &row : rows) {
+        const PolicyPtr policy = makePolicy(row.name);
+        const PolicyCapabilities caps = describePolicy(*policy);
+        EXPECT_EQ(caps.job_length, row.length) << row.name;
+        EXPECT_EQ(caps.carbon_aware, row.carbon) << row.name;
+        EXPECT_EQ(caps.performance_aware, row.perf) << row.name;
+    }
+}
+
+TEST(PolicyFactory, SuspendResumeFlagsMatchPaper)
+{
+    EXPECT_TRUE(makePolicy("Wait-Awhile")->suspendResume());
+    EXPECT_TRUE(makePolicy("Ecovisor")->suspendResume());
+    EXPECT_FALSE(makePolicy("Lowest-Window")->suspendResume());
+    EXPECT_FALSE(makePolicy("Carbon-Time")->suspendResume());
+}
+
+} // namespace
+} // namespace gaia

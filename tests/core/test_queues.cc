@@ -1,0 +1,111 @@
+/** @file Tests for queue configuration. */
+
+#include "core/queues.h"
+
+#include <gtest/gtest.h>
+
+namespace gaia {
+namespace {
+
+TEST(Queues, StandardShortLongDefaults)
+{
+    const QueueConfig q = QueueConfig::standardShortLong();
+    ASSERT_EQ(q.queueCount(), 2u);
+    EXPECT_EQ(q.queue(0).name, "short");
+    EXPECT_EQ(q.queue(0).max_length, 2 * kSecondsPerHour);
+    EXPECT_EQ(q.queue(0).max_wait, 6 * kSecondsPerHour);
+    EXPECT_EQ(q.queue(1).name, "long");
+    EXPECT_EQ(q.queue(1).max_length, 3 * kSecondsPerDay);
+    EXPECT_EQ(q.queue(1).max_wait, 24 * kSecondsPerHour);
+    EXPECT_EQ(q.maxWait(), 24 * kSecondsPerHour);
+    EXPECT_EQ(q.maxLength(), 3 * kSecondsPerDay);
+}
+
+TEST(Queues, AssignmentBySmallestAdmittingQueue)
+{
+    const QueueConfig q = QueueConfig::standardShortLong();
+    EXPECT_EQ(q.queueFor(kSecondsPerHour).name, "short");
+    EXPECT_EQ(q.queueFor(2 * kSecondsPerHour).name, "short");
+    EXPECT_EQ(q.queueFor(2 * kSecondsPerHour + 1).name, "long");
+    // The last queue is the catch-all even past its bound.
+    EXPECT_EQ(q.queueFor(10 * kSecondsPerDay).name, "long");
+}
+
+TEST(Queues, ConstructionSortsByBound)
+{
+    const QueueConfig q({{"b", 100, 10, 0}, {"a", 50, 5, 0}});
+    EXPECT_EQ(q.queue(0).name, "a");
+    EXPECT_EQ(q.queue(1).name, "b");
+}
+
+TEST(Queues, EffectiveAverageFallback)
+{
+    QueueSpec spec{"q", 4 * kSecondsPerHour, kSecondsPerHour, 0};
+    EXPECT_EQ(spec.effectiveAvgLength(), 2 * kSecondsPerHour);
+    spec.avg_length = 90 * kSecondsPerMinute;
+    EXPECT_EQ(spec.effectiveAvgLength(), 90 * kSecondsPerMinute);
+}
+
+TEST(Queues, CalibrateAveragesFromTrace)
+{
+    QueueConfig q = QueueConfig::standardShortLong();
+    const JobTrace trace(
+        "t", {
+                 {1, 0, kSecondsPerHour, 1},      // short queue
+                 {2, 0, 2 * kSecondsPerHour, 1},  // short queue
+                 {3, 0, 10 * kSecondsPerHour, 1}, // long queue
+             });
+    q.calibrateAverages(trace);
+    EXPECT_EQ(q.queue(0).avg_length,
+              (kSecondsPerHour + 2 * kSecondsPerHour) / 2);
+    EXPECT_EQ(q.queue(1).avg_length, 10 * kSecondsPerHour);
+}
+
+TEST(Queues, CalibrationLeavesEmptyQueuesUntouched)
+{
+    QueueConfig q = QueueConfig::standardShortLong();
+    const JobTrace trace("t", {{1, 0, kSecondsPerHour, 1}});
+    q.calibrateAverages(trace);
+    EXPECT_EQ(q.queue(1).avg_length, 0);
+    EXPECT_EQ(q.queue(1).effectiveAvgLength(),
+              3 * kSecondsPerDay / 2);
+}
+
+TEST(QueuesDeath, InvalidConfigurations)
+{
+    EXPECT_EXIT(QueueConfig({}), ::testing::ExitedWithCode(1),
+                "at least one queue");
+    EXPECT_EXIT(QueueConfig({{"q", 0, 10, 0}}),
+                ::testing::ExitedWithCode(1),
+                "non-positive bound");
+    EXPECT_EXIT(QueueConfig({{"q", 10, -1, 0}}),
+                ::testing::ExitedWithCode(1), "negative max wait");
+    const QueueConfig q = QueueConfig::standardShortLong();
+    EXPECT_DEATH(q.queueFor(0), "non-positive job length");
+    EXPECT_DEATH(q.queue(5), "queue index out of range");
+}
+
+
+TEST(Queues, QueueHintOverridesLengthClassification)
+{
+    const QueueConfig q = QueueConfig::standardShortLong();
+    Job job{1, 0, kSecondsPerHour, 1}; // naturally "short"
+    EXPECT_EQ(q.queueForJob(job).name, "short");
+    job.queue_hint = 1;
+    EXPECT_EQ(q.queueForJob(job).name, "long");
+    job.queue_hint = 0;
+    EXPECT_EQ(q.queueForJob(job).name, "short");
+    job.queue_hint = -1;
+    EXPECT_EQ(q.queueForJob(job).name, "short");
+}
+
+TEST(QueuesDeath, OutOfRangeHintIsCaught)
+{
+    const QueueConfig q = QueueConfig::standardShortLong();
+    Job job{1, 0, kSecondsPerHour, 1};
+    job.queue_hint = 7;
+    EXPECT_DEATH(q.queueForJob(job), "names queue 7");
+}
+
+} // namespace
+} // namespace gaia

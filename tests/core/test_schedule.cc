@@ -1,0 +1,76 @@
+/** @file Tests for schedule plans and segment merging. */
+
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace gaia {
+namespace {
+
+TEST(SchedulePlan, SingleSegmentConvenience)
+{
+    const SchedulePlan plan(100, 50);
+    EXPECT_EQ(plan.segmentCount(), 1u);
+    EXPECT_EQ(plan.plannedStart(), 100);
+    EXPECT_EQ(plan.plannedEnd(), 150);
+    EXPECT_EQ(plan.totalRunTime(), 50);
+    EXPECT_FALSE(plan.isSuspendResume());
+}
+
+TEST(SchedulePlan, MultiSegmentAccessors)
+{
+    const SchedulePlan plan(
+        std::vector<RunSegment>{{100, 200}, {400, 450}});
+    EXPECT_EQ(plan.segmentCount(), 2u);
+    EXPECT_TRUE(plan.isSuspendResume());
+    EXPECT_EQ(plan.plannedStart(), 100);
+    EXPECT_EQ(plan.plannedEnd(), 450);
+    EXPECT_EQ(plan.totalRunTime(), 150);
+    EXPECT_EQ(plan.segment(1).start, 400);
+}
+
+TEST(SchedulePlan, SortsAndMergesAdjacent)
+{
+    const SchedulePlan plan(std::vector<RunSegment>{
+        {400, 450}, {100, 200}, {200, 300}});
+    // [100,200) + [200,300) coalesce.
+    ASSERT_EQ(plan.segmentCount(), 2u);
+    EXPECT_EQ(plan.segment(0).start, 100);
+    EXPECT_EQ(plan.segment(0).end, 300);
+    EXPECT_EQ(plan.segment(1).start, 400);
+}
+
+TEST(MergeSegments, ChainOfAbuttingIntervals)
+{
+    const auto merged = mergeSegments(
+        {{0, 10}, {10, 20}, {20, 30}, {50, 60}});
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged[0].end, 30);
+    EXPECT_EQ(merged[1].start, 50);
+}
+
+TEST(MergeSegments, EmptyInput)
+{
+    EXPECT_TRUE(mergeSegments({}).empty());
+}
+
+TEST(SchedulePlan, ToStringRendersIntervals)
+{
+    const SchedulePlan plan(
+        std::vector<RunSegment>{{1, 2}, {5, 7}});
+    EXPECT_EQ(plan.toString(), "[1, 2) + [5, 7)");
+}
+
+TEST(SchedulePlanDeath, InvalidPlansRejected)
+{
+    EXPECT_DEATH(SchedulePlan(-5, 10), "starts before t=0");
+    EXPECT_DEATH(SchedulePlan(0, 0), "empty or inverted");
+    EXPECT_DEATH(SchedulePlan(std::vector<RunSegment>{
+                     {0, 100}, {50, 150}}),
+                 "overlapping plan segments");
+    const SchedulePlan empty;
+    EXPECT_DEATH(empty.plannedStart(), "empty plan");
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,89 @@
+/** @file Tests for cluster configuration and strategy metadata. */
+
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace gaia {
+namespace {
+
+TEST(Cluster, StrategyNames)
+{
+    EXPECT_EQ(strategyName(ResourceStrategy::OnDemandOnly),
+              "OnDemand");
+    EXPECT_EQ(strategyName(ResourceStrategy::HybridGreedy),
+              "Hybrid");
+    EXPECT_EQ(strategyName(ResourceStrategy::ReservedFirst),
+              "RES-First");
+    EXPECT_EQ(strategyName(ResourceStrategy::SpotFirst),
+              "Spot-First");
+    EXPECT_EQ(strategyName(ResourceStrategy::SpotReserved),
+              "Spot-RES");
+}
+
+TEST(Cluster, DefaultConfigIsValid)
+{
+    ClusterConfig config;
+    config.validate();
+    SUCCEED();
+}
+
+TEST(ClusterDeath, ValidationCatchesBadSettings)
+{
+    ClusterConfig config;
+    config.reserved_cores = -1;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "negative reserved core count");
+    config = ClusterConfig{};
+    config.spot_eviction_rate = 2.0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "eviction rate");
+    config = ClusterConfig{};
+    config.spot_max_length = -5;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "spot length bound");
+    config = ClusterConfig{};
+    config.reservation_horizon = -1;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "reservation horizon");
+}
+
+TEST(Cluster, DefaultReservationHorizon)
+{
+    const QueueConfig queues = QueueConfig::standardShortLong();
+    // Last arrival at day 2, longest job 10 h.
+    const JobTrace trace("t", {{1, 2 * kSecondsPerDay,
+                                10 * kSecondsPerHour, 1}});
+    const Seconds horizon =
+        defaultReservationHorizon(trace, queues);
+    // busy = 2d + 10h, + 24h wait + 10h retry margin -> < 4d,
+    // rounded up to whole days.
+    EXPECT_EQ(horizon % kSecondsPerDay, 0);
+    EXPECT_GE(horizon,
+              2 * kSecondsPerDay + 44 * kSecondsPerHour);
+    EXPECT_LE(horizon, 4 * kSecondsPerDay);
+}
+
+TEST(Cluster, HorizonAtLeastOneDay)
+{
+    const QueueConfig queues =
+        QueueConfig::standardShortLong(0, 0);
+    const JobTrace trace("t", {{1, 0, 60, 1}});
+    EXPECT_EQ(defaultReservationHorizon(trace, queues),
+              kSecondsPerDay);
+}
+
+TEST(Cluster, HorizonIsPolicyIndependent)
+{
+    // The horizon depends only on trace + queue limits, so every
+    // policy compared on one scenario shares the same upfront cost.
+    const QueueConfig queues = QueueConfig::standardShortLong();
+    const JobTrace trace("t", {{1, 1000, 5000, 2},
+                               {2, 90000, 7200, 1}});
+    const Seconds h1 = defaultReservationHorizon(trace, queues);
+    const Seconds h2 = defaultReservationHorizon(trace, queues);
+    EXPECT_EQ(h1, h2);
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,120 @@
+/** @file Tests for the discrete-event queue. */
+
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gaia {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, TiesRunInSchedulingOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, HandlersMayScheduleMoreEvents)
+{
+    EventQueue q;
+    std::vector<Seconds> times;
+    q.schedule(0, [&] {
+        times.push_back(q.now());
+        q.schedule(100, [&] {
+            times.push_back(q.now());
+            q.schedule(200, [&] { times.push_back(q.now()); });
+        });
+    });
+    q.runAll();
+    EXPECT_EQ(times, (std::vector<Seconds>{0, 100, 200}));
+}
+
+TEST(EventQueue, SchedulingAtCurrentTimeAllowed)
+{
+    EventQueue q;
+    int hits = 0;
+    q.schedule(50, [&] {
+        q.schedule(50, [&] { ++hits; }); // same-time follow-up
+    });
+    q.runAll();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(EventQueue, RunNextAndCounters)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.runNext());
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    EXPECT_EQ(q.pendingCount(), 2u);
+    EXPECT_TRUE(q.runNext());
+    EXPECT_EQ(q.pendingCount(), 1u);
+    EXPECT_EQ(q.now(), 1);
+}
+
+TEST(EventQueueDeath, PastSchedulingRejected)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.runAll();
+    EXPECT_DEATH(q.schedule(50, [] {}), "into the past");
+    EXPECT_DEATH(q.schedule(200, nullptr), "null event handler");
+}
+
+
+TEST(EventQueue, PriorityBreaksTimestampTies)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(2); });          // prio 1
+    q.schedule(10, 0, [&] { order.push_back(1); });       // prio 0
+    q.schedule(10, 2, [&] { order.push_back(3); });       // prio 2
+    q.schedule(5, 9, [&] { order.push_back(0); });        // earlier
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    std::vector<Seconds> fired;
+    for (Seconds t : {10, 20, 30, 40})
+        q.schedule(t, [&fired, &q] { fired.push_back(q.now()); });
+    q.runUntil(25);
+    EXPECT_EQ(fired, (std::vector<Seconds>{10, 20}));
+    EXPECT_EQ(q.now(), 25);
+    EXPECT_EQ(q.nextEventTime(), 30);
+    q.runUntil(100);
+    EXPECT_EQ(fired.size(), 4u);
+    EXPECT_EQ(q.nextEventTime(), -1);
+}
+
+TEST(EventQueueDeath, RunUntilPastRejected)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.runAll();
+    EXPECT_DEATH(q.runUntil(50), "into the past");
+}
+
+} // namespace
+} // namespace gaia

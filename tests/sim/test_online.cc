@@ -1,0 +1,252 @@
+/** @file Tests for the incremental (online) scheduler API. */
+
+#include "sim/online.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+
+namespace gaia {
+namespace {
+
+QueueConfig
+oneQueue(Seconds max_wait = hours(6))
+{
+    return QueueConfig(
+        {{"only", 3 * kSecondsPerDay, max_wait, kSecondsPerHour}});
+}
+
+CarbonTrace
+flatTrace()
+{
+    return CarbonTrace("flat",
+                       std::vector<double>(24 * 40, 100.0));
+}
+
+TEST(Online, InterleavedSubmissionAndTime)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue();
+    ClusterConfig cluster;
+    cluster.reserved_cores = 1;
+    // AllWait plans the latest start, so queued jobs genuinely
+    // wait for the reserved core instead of spilling to on-demand.
+    const PolicyPtr policy = makePolicy("AllWait-Threshold");
+
+    OnlineScheduler sched(*policy, queues, cis, cluster,
+                          ResourceStrategy::ReservedFirst);
+    EXPECT_EQ(sched.now(), 0);
+
+    sched.submit({1, 0, hours(2), 1});
+    sched.advanceTo(hours(1));
+    EXPECT_EQ(sched.now(), hours(1));
+    EXPECT_EQ(sched.reservedCoresInUse(), 1); // job 1 running
+
+    // Job 2 arrives mid-flight and must queue behind job 1.
+    sched.submit({2, hours(1), hours(1), 1});
+    sched.advanceTo(hours(1) + 60);
+    EXPECT_EQ(sched.pendingJobs(), 1u);
+
+    sched.drain();
+    const SimulationResult r = sched.finalize();
+    ASSERT_EQ(r.outcomes.size(), 2u);
+    EXPECT_EQ(r.outcomes[1].start, hours(2)); // work-conserving
+    EXPECT_EQ(r.outcomes[1].segments[0].option,
+              PurchaseOption::Reserved);
+}
+
+TEST(Online, MatchesBatchSimulationExactly)
+{
+    // The batch simulate() is a wrapper over OnlineScheduler; an
+    // explicitly interleaved online run over the same jobs must
+    // produce identical books.
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    QueueConfig queues = oneQueue(hours(4));
+    Rng rng(11);
+    std::vector<Job> jobs;
+    for (int i = 0; i < 60; ++i) {
+        jobs.push_back({i, rng.uniformInt(0, kSecondsPerDay),
+                        rng.uniformInt(600, hours(4)),
+                        static_cast<int>(rng.uniformInt(1, 3))});
+    }
+    const JobTrace trace("t", jobs);
+    ClusterConfig cluster;
+    cluster.reserved_cores = 5;
+    cluster.reservation_horizon =
+        defaultReservationHorizon(trace, queues);
+    const PolicyPtr policy = makePolicy("Carbon-Time");
+
+    const SimulationResult batch =
+        simulate(trace, *policy, queues, cis, cluster,
+                 ResourceStrategy::ReservedFirst);
+
+    OnlineScheduler sched(*policy, queues, cis, cluster,
+                          ResourceStrategy::ReservedFirst, "t");
+    // Feed jobs in arrival order with time advancing in between.
+    for (const Job &job : trace.jobs()) {
+        sched.advanceTo(job.submit);
+        sched.submit(job);
+    }
+    sched.drain();
+    const SimulationResult online = sched.finalize();
+
+    ASSERT_EQ(online.outcomes.size(), batch.outcomes.size());
+    EXPECT_DOUBLE_EQ(online.carbon_kg, batch.carbon_kg);
+    EXPECT_DOUBLE_EQ(online.totalCost(), batch.totalCost());
+    for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+        EXPECT_EQ(online.outcomes[i].start,
+                  batch.outcomes[i].start);
+        EXPECT_EQ(online.outcomes[i].finish,
+                  batch.outcomes[i].finish);
+    }
+}
+
+TEST(Online, RandomAdvancePatternsNeverChangeTheBooks)
+{
+    // Differential fuzz: however erratically the caller advances
+    // time between submissions — one event at a time, giant leaps,
+    // or repeated no-ops — the books must equal the batch run's.
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    QueueConfig queues = oneQueue(hours(5));
+    ClusterConfig cluster;
+    cluster.reserved_cores = 3;
+    const PolicyPtr policy = makePolicy("Lowest-Window");
+
+    Rng job_rng(21);
+    std::vector<Job> jobs;
+    for (int i = 0; i < 40; ++i) {
+        jobs.push_back({i, job_rng.uniformInt(0, kSecondsPerDay),
+                        job_rng.uniformInt(600, hours(3)),
+                        static_cast<int>(
+                            job_rng.uniformInt(1, 2))});
+    }
+    const JobTrace trace("t", jobs);
+    cluster.reservation_horizon =
+        defaultReservationHorizon(trace, queues);
+
+    const SimulationResult batch =
+        simulate(trace, *policy, queues, cis, cluster,
+                 ResourceStrategy::ReservedFirst);
+
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        Rng advance_rng(seed);
+        OnlineScheduler sched(*policy, queues, cis, cluster,
+                              ResourceStrategy::ReservedFirst,
+                              "t");
+        for (const Job &job : trace.jobs()) {
+            // Random dawdling before each submission.
+            Seconds t = sched.now();
+            while (t < job.submit && advance_rng.bernoulli(0.7)) {
+                t = std::min<Seconds>(
+                    job.submit,
+                    t + advance_rng.uniformInt(1, hours(2)));
+                sched.advanceTo(t);
+            }
+            sched.submit(job);
+        }
+        sched.drain();
+        const SimulationResult online = sched.finalize();
+        EXPECT_DOUBLE_EQ(online.carbon_kg, batch.carbon_kg)
+            << "seed " << seed;
+        EXPECT_DOUBLE_EQ(online.totalCost(), batch.totalCost())
+            << "seed " << seed;
+        for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+            EXPECT_EQ(online.outcomes[i].start,
+                      batch.outcomes[i].start)
+                << "seed " << seed << " job " << i;
+        }
+    }
+}
+
+TEST(Online, DerivedHorizonCoversSchedule)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue();
+    ClusterConfig cluster; // reservation_horizon = 0 -> derive
+    const PolicyPtr policy = makePolicy("NoWait");
+
+    OnlineScheduler sched(*policy, queues, cis, cluster,
+                          ResourceStrategy::OnDemandOnly);
+    sched.submit({1, hours(30), hours(5), 1});
+    sched.drain();
+    const SimulationResult r = sched.finalize();
+    EXPECT_EQ(r.horizon % kSecondsPerDay, 0);
+    EXPECT_GE(r.horizon, hours(35));
+}
+
+TEST(Online, IntrospectionCounters)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue();
+    const PolicyPtr policy = makePolicy("NoWait");
+    OnlineScheduler sched(*policy, queues, cis, {},
+                          ResourceStrategy::OnDemandOnly);
+    EXPECT_EQ(sched.submittedJobs(), 0u);
+    sched.submit({1, 100, 600, 1});
+    sched.submit({2, 200, 600, 1});
+    EXPECT_EQ(sched.submittedJobs(), 2u);
+    EXPECT_EQ(sched.pendingJobs(), 0u);
+    sched.drain();
+    (void)sched.finalize();
+}
+
+TEST(OnlineDeath, ApiMisuseIsCaught)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue();
+    const PolicyPtr policy = makePolicy("NoWait");
+
+    {
+        OnlineScheduler sched(*policy, queues, cis, {},
+                              ResourceStrategy::OnDemandOnly);
+        sched.submit({1, 1000, 600, 1});
+        sched.advanceTo(5000);
+        EXPECT_EXIT(sched.submit({2, 100, 600, 1}),
+                    ::testing::ExitedWithCode(1),
+                    "simulation time is already");
+    }
+    {
+        OnlineScheduler sched(*policy, queues, cis, {},
+                              ResourceStrategy::OnDemandOnly);
+        sched.submit({1, 0, 600, 1});
+        EXPECT_DEATH((void)sched.finalize(),
+                     "events still pending");
+    }
+    {
+        OnlineScheduler sched(*policy, queues, cis, {},
+                              ResourceStrategy::OnDemandOnly);
+        sched.drain();
+        (void)sched.finalize();
+        EXPECT_DEATH(sched.submit({1, 0, 600, 1}),
+                     "after finalize");
+    }
+}
+
+TEST(Online, AdvanceToIsIdempotentAcrossQuietPeriods)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue();
+    const PolicyPtr policy = makePolicy("NoWait");
+    OnlineScheduler sched(*policy, queues, cis, {},
+                          ResourceStrategy::OnDemandOnly);
+    sched.submit({1, 0, 600, 1});
+    sched.advanceTo(10000);
+    sched.advanceTo(10000);
+    sched.advanceTo(20000);
+    EXPECT_EQ(sched.now(), 20000);
+    sched.drain();
+    const SimulationResult r = sched.finalize();
+    EXPECT_EQ(r.outcomes[0].finish, 600);
+}
+
+} // namespace
+} // namespace gaia

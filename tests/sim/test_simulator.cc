@@ -1,0 +1,341 @@
+/** @file Behavioural tests for the cluster simulator. */
+
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+
+namespace gaia {
+namespace {
+
+/** One-queue configuration with an explicit waiting limit. */
+QueueConfig
+oneQueue(Seconds max_wait, Seconds avg = kSecondsPerHour)
+{
+    return QueueConfig({{"only", 3 * kSecondsPerDay, max_wait, avg}});
+}
+
+/** Flat-intensity trace long enough for every scenario here. */
+CarbonTrace
+flatTrace(double value = 100.0, std::size_t slots = 24 * 40)
+{
+    return CarbonTrace("flat", std::vector<double>(slots, value));
+}
+
+SimulationResult
+run(const JobTrace &trace, const std::string &policy,
+    const QueueConfig &queues, const CarbonInfoService &cis,
+    ClusterConfig cluster = {},
+    ResourceStrategy strategy = ResourceStrategy::OnDemandOnly)
+{
+    const PolicyPtr p = makePolicy(policy);
+    return simulate(trace, *p, queues, cis, cluster, strategy);
+}
+
+TEST(Simulator, SingleJobClosedFormAccounting)
+{
+    const CarbonTrace carbon = flatTrace(100.0);
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(6));
+    const JobTrace trace("t", {{1, 0, hours(2), 2}});
+
+    const SimulationResult r = run(trace, "NoWait", queues, cis);
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    const JobOutcome &o = r.outcomes[0];
+
+    EXPECT_EQ(o.start, 0);
+    EXPECT_EQ(o.finish, hours(2));
+    EXPECT_EQ(o.waiting(), 0);
+    // 2 cores x 5 W = 10 W = 0.01 kW for 2 h at 100 g/kWh -> 2 g.
+    EXPECT_NEAR(o.carbon_g, 2.0, 1e-9);
+    EXPECT_NEAR(o.carbon_nowait_g, 2.0, 1e-9);
+    // 4 core-hours on demand at $0.0624.
+    EXPECT_NEAR(o.variable_cost, 4 * 0.0624, 1e-9);
+    EXPECT_NEAR(r.totalCost(), 4 * 0.0624, 1e-9);
+    EXPECT_DOUBLE_EQ(r.reserved_upfront, 0.0);
+    // 20 Wh of energy.
+    EXPECT_NEAR(r.energy_kwh, 0.02, 1e-9);
+    EXPECT_EQ(r.policy, "NoWait");
+    EXPECT_EQ(r.strategy, "OnDemand");
+}
+
+TEST(Simulator, NoWaitCarbonMatchesCounterfactual)
+{
+    const CarbonTrace carbon = flatTrace(250.0);
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(6));
+    const JobTrace trace("t", {{1, 100, hours(1), 1},
+                               {2, 5000, hours(3), 2},
+                               {3, 9000, minutes(30), 4}});
+    const SimulationResult r = run(trace, "NoWait", queues, cis);
+    EXPECT_NEAR(r.carbon_kg, r.carbon_nowait_kg, 1e-12);
+    EXPECT_DOUBLE_EQ(r.carbonSavedKg(), 0.0);
+}
+
+TEST(Simulator, AllWaitOnDemandStartsAtTheLimit)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(4));
+    const JobTrace trace("t", {{1, 500, hours(1), 1}});
+    const SimulationResult r =
+        run(trace, "AllWait-Threshold", queues, cis);
+    EXPECT_EQ(r.outcomes[0].start, 500 + hours(4));
+    EXPECT_EQ(r.outcomes[0].waiting(), hours(4));
+}
+
+TEST(Simulator, HybridGreedyPrefersReservedThenOverflows)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(6));
+    // Three concurrent 1-core jobs against 2 reserved cores.
+    const JobTrace trace("t", {{1, 0, hours(1), 1},
+                               {2, 0, hours(1), 1},
+                               {3, 0, hours(1), 1}});
+    ClusterConfig cluster;
+    cluster.reserved_cores = 2;
+    const SimulationResult r =
+        run(trace, "NoWait", queues, cis, cluster,
+            ResourceStrategy::HybridGreedy);
+
+    int reserved = 0, on_demand = 0;
+    for (const JobOutcome &o : r.outcomes) {
+        ASSERT_EQ(o.segments.size(), 1u);
+        EXPECT_EQ(o.waiting(), 0);
+        (o.segments[0].option == PurchaseOption::Reserved
+             ? reserved
+             : on_demand)++;
+    }
+    EXPECT_EQ(reserved, 2);
+    EXPECT_EQ(on_demand, 1);
+    EXPECT_DOUBLE_EQ(r.reserved_core_seconds, 2.0 * hours(1));
+    EXPECT_DOUBLE_EQ(r.on_demand_core_seconds, 1.0 * hours(1));
+    EXPECT_GT(r.reserved_upfront, 0.0);
+    // Only the on-demand hour is billed as usage.
+    EXPECT_NEAR(r.on_demand_cost, 0.0624, 1e-9);
+}
+
+TEST(Simulator, ReservedFirstIsWorkConserving)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(6));
+    // One reserved core; job 2 arrives while job 1 occupies it and
+    // must start the moment the core frees (not at submit+W).
+    const JobTrace trace("t", {{1, 0, hours(1), 1},
+                               {2, 600, hours(1), 1}});
+    ClusterConfig cluster;
+    cluster.reserved_cores = 1;
+    const SimulationResult r =
+        run(trace, "AllWait-Threshold", queues, cis, cluster,
+            ResourceStrategy::ReservedFirst);
+
+    const JobOutcome &first = r.outcomes[0];
+    const JobOutcome &second = r.outcomes[1];
+    EXPECT_EQ(first.start, 0); // immediate despite AllWait's plan
+    EXPECT_EQ(first.segments[0].option, PurchaseOption::Reserved);
+    EXPECT_EQ(second.start, hours(1));
+    EXPECT_EQ(second.segments[0].option, PurchaseOption::Reserved);
+    EXPECT_EQ(second.waiting(), hours(1) - 600);
+    EXPECT_DOUBLE_EQ(r.on_demand_core_seconds, 0.0);
+}
+
+TEST(Simulator, ReservedFirstFallsBackToOnDemandAtPlannedStart)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(1));
+    // Job 1 hogs the single reserved core for 5 h; job 2's waiting
+    // limit (1 h) expires first -> on-demand at submit+W.
+    const JobTrace trace("t", {{1, 0, hours(5), 1},
+                               {2, 0, hours(1), 1}});
+    ClusterConfig cluster;
+    cluster.reserved_cores = 1;
+    const SimulationResult r =
+        run(trace, "AllWait-Threshold", queues, cis, cluster,
+            ResourceStrategy::ReservedFirst);
+
+    const JobOutcome &second = r.outcomes[1];
+    EXPECT_EQ(second.start, hours(1));
+    EXPECT_EQ(second.segments[0].option, PurchaseOption::OnDemand);
+}
+
+TEST(Simulator, WorkConservationOverridesCarbonWaiting)
+{
+    // Expensive now, cheap later: Lowest-Slot wants to wait, but a
+    // free reserved core means the job starts immediately.
+    std::vector<double> hourly(24 * 40, 500.0);
+    hourly[5] = 10.0;
+    const CarbonTrace carbon("step", hourly);
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(6));
+    const JobTrace trace("t", {{1, 0, hours(1), 1}});
+    ClusterConfig cluster;
+    cluster.reserved_cores = 1;
+
+    const SimulationResult wc =
+        run(trace, "Lowest-Slot", queues, cis, cluster,
+            ResourceStrategy::ReservedFirst);
+    EXPECT_EQ(wc.outcomes[0].start, 0);
+
+    const SimulationResult greedy =
+        run(trace, "Lowest-Slot", queues, cis, cluster,
+            ResourceStrategy::HybridGreedy);
+    EXPECT_EQ(greedy.outcomes[0].start, hours(5));
+}
+
+TEST(Simulator, SuspendResumePlacesEachSegment)
+{
+    // Cheap slots 1 and 3 -> Wait-Awhile splits a 2 h job.
+    std::vector<double> hourly(24 * 40, 500.0);
+    hourly[1] = 10.0;
+    hourly[3] = 20.0;
+    const CarbonTrace carbon("step", hourly);
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(2));
+    const JobTrace trace("t", {{1, 0, hours(2), 1}});
+    const SimulationResult r =
+        run(trace, "Wait-Awhile", queues, cis);
+
+    const JobOutcome &o = r.outcomes[0];
+    ASSERT_EQ(o.segments.size(), 2u);
+    EXPECT_EQ(o.segments[0].start, hours(1));
+    EXPECT_EQ(o.segments[1].start, hours(3));
+    EXPECT_EQ(o.finish, hours(4));
+    EXPECT_EQ(o.waiting(), hours(2));
+    // Carbon: 0.005 kW x (10 + 20) g/kWh x 1 h each.
+    EXPECT_NEAR(o.carbon_g, 0.005 * 30.0, 1e-9);
+}
+
+TEST(Simulator, SuspendResumeWithReservedUsesGreedyPlacement)
+{
+    std::vector<double> hourly(24 * 40, 500.0);
+    hourly[1] = 10.0;
+    hourly[3] = 20.0;
+    const CarbonTrace carbon("step", hourly);
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(2));
+    // Two identical Wait-Awhile jobs fight over 1 reserved core:
+    // each segment pair runs one on reserved, one on demand.
+    const JobTrace trace("t", {{1, 0, hours(2), 1},
+                               {2, 0, hours(2), 1}});
+    ClusterConfig cluster;
+    cluster.reserved_cores = 1;
+    const SimulationResult r =
+        run(trace, "Wait-Awhile", queues, cis, cluster,
+            ResourceStrategy::ReservedFirst);
+
+    EXPECT_DOUBLE_EQ(r.reserved_core_seconds, 2.0 * hours(1));
+    EXPECT_DOUBLE_EQ(r.on_demand_core_seconds, 2.0 * hours(1));
+}
+
+TEST(Simulator, AccountingConservation)
+{
+    const CarbonTrace carbon = flatTrace(300.0);
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(6));
+    std::vector<Job> jobs;
+    for (int i = 0; i < 40; ++i)
+        jobs.push_back({i, i * 500, hours(1) + i * 60,
+                        1 + i % 3});
+    const JobTrace trace("t", std::move(jobs));
+    ClusterConfig cluster;
+    cluster.reserved_cores = 3;
+    const SimulationResult r =
+        run(trace, "Carbon-Time", queues, cis, cluster,
+            ResourceStrategy::ReservedFirst);
+
+    double sum_cost = 0.0, sum_carbon = 0.0;
+    for (const JobOutcome &o : r.outcomes) {
+        sum_cost += o.variable_cost;
+        sum_carbon += o.carbon_g;
+    }
+    EXPECT_NEAR(sum_cost, r.on_demand_cost + r.spot_cost, 1e-6);
+    EXPECT_NEAR(sum_carbon / 1000.0, r.carbon_kg, 1e-9);
+    EXPECT_LE(r.reserved_core_seconds,
+              3.0 * static_cast<double>(r.horizon) + 1e-6);
+    EXPECT_GE(r.reserved_utilization, 0.0);
+    EXPECT_LE(r.reserved_utilization, 1.0);
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    const CarbonTrace carbon = flatTrace(120.0);
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(3));
+    std::vector<Job> jobs;
+    for (int i = 0; i < 25; ++i)
+        jobs.push_back({i, i * 777, 1000 + i * 333, 1 + i % 4});
+    const JobTrace trace("t", std::move(jobs));
+    ClusterConfig cluster;
+    cluster.reserved_cores = 4;
+
+    const SimulationResult a =
+        run(trace, "Lowest-Window", queues, cis, cluster,
+            ResourceStrategy::ReservedFirst);
+    const SimulationResult b =
+        run(trace, "Lowest-Window", queues, cis, cluster,
+            ResourceStrategy::ReservedFirst);
+    EXPECT_DOUBLE_EQ(a.totalCost(), b.totalCost());
+    EXPECT_DOUBLE_EQ(a.carbon_kg, b.carbon_kg);
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+        EXPECT_EQ(a.outcomes[i].start, b.outcomes[i].start);
+        EXPECT_EQ(a.outcomes[i].finish, b.outcomes[i].finish);
+    }
+}
+
+TEST(Simulator, ExplicitHorizonOverridesDefault)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(0);
+    const JobTrace trace("t", {{1, 0, hours(1), 1}});
+    ClusterConfig cluster;
+    cluster.reserved_cores = 2;
+    cluster.reservation_horizon = 10 * kSecondsPerDay;
+    const SimulationResult r =
+        run(trace, "NoWait", queues, cis, cluster,
+            ResourceStrategy::HybridGreedy);
+    EXPECT_EQ(r.horizon, 10 * kSecondsPerDay);
+    const PricingModel pricing;
+    EXPECT_NEAR(r.reserved_upfront,
+                pricing.reservedUpfront(2, 10 * kSecondsPerDay),
+                1e-9);
+}
+
+TEST(Simulator, EmptyTraceProducesEmptyResult)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(1));
+    const JobTrace trace("t", {});
+    const SimulationResult r = run(trace, "NoWait", queues, cis);
+    EXPECT_TRUE(r.outcomes.empty());
+    EXPECT_DOUBLE_EQ(r.totalCost(), 0.0);
+}
+
+TEST(SimulatorDeath, OnDemandOnlyWithReservedCoresIsFatal)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(1));
+    const JobTrace trace("t", {{1, 0, 100, 1}});
+    ClusterConfig cluster;
+    cluster.reserved_cores = 5;
+    EXPECT_EXIT(run(trace, "NoWait", queues, cis, cluster,
+                    ResourceStrategy::OnDemandOnly),
+                ::testing::ExitedWithCode(1),
+                "OnDemandOnly strategy with 5 reserved");
+}
+
+TEST(SimulatorDeath, MissingInputsArePanics)
+{
+    SimulationSetup setup;
+    EXPECT_DEATH(simulate(setup), "without a trace");
+}
+
+} // namespace
+} // namespace gaia

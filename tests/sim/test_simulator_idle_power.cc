@@ -1,0 +1,101 @@
+/** @file Tests for idle-reserved power accounting. */
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+
+namespace gaia {
+namespace {
+
+QueueConfig
+oneQueue()
+{
+    return QueueConfig({{"only", 3 * kSecondsPerDay,
+                         6 * kSecondsPerHour, kSecondsPerHour}});
+}
+
+TEST(IdlePower, DisabledByDefault)
+{
+    const CarbonTrace carbon("flat",
+                             std::vector<double>(24 * 40, 100.0));
+    const CarbonInfoService cis(carbon);
+    const JobTrace trace("t", {{1, 0, hours(1), 1}});
+    ClusterConfig cluster;
+    cluster.reserved_cores = 4;
+    const PolicyPtr p = makePolicy("NoWait");
+    const SimulationResult r =
+        simulate(trace, *p, oneQueue(), cis, cluster,
+                 ResourceStrategy::ReservedFirst);
+    EXPECT_DOUBLE_EQ(r.idle_carbon_kg, 0.0);
+    EXPECT_DOUBLE_EQ(r.idle_energy_kwh, 0.0);
+}
+
+TEST(IdlePower, ClosedFormOnFlatTrace)
+{
+    const CarbonTrace carbon("flat",
+                             std::vector<double>(24 * 40, 100.0));
+    const CarbonInfoService cis(carbon);
+    // One 1-core job for 1 h against 2 reserved cores.
+    const JobTrace trace("t", {{1, 0, hours(1), 1}});
+    ClusterConfig cluster;
+    cluster.reserved_cores = 2;
+    cluster.reserved_idle_power_fraction = 0.5;
+    cluster.reservation_horizon = hours(10);
+
+    const PolicyPtr p = makePolicy("NoWait");
+    const SimulationResult r =
+        simulate(trace, *p, oneQueue(), cis, cluster,
+                 ResourceStrategy::ReservedFirst);
+
+    // Idle core-hours: 2 cores x 10 h - 1 busy core-hour = 19.
+    // Idle power: 0.5 x 5 W = 2.5 W -> 47.5 Wh = 0.0475 kWh.
+    EXPECT_NEAR(r.idle_energy_kwh, 19.0 * 0.0025, 1e-12);
+    // At 100 g/kWh -> 4.75 g.
+    EXPECT_NEAR(r.idle_carbon_kg, 19.0 * 0.0025 * 0.1, 1e-12);
+    // Totals include the idle share.
+    const double busy_kwh = 0.005; // 1 core-hour at 5 W
+    EXPECT_NEAR(r.energy_kwh, busy_kwh + r.idle_energy_kwh, 1e-12);
+}
+
+TEST(IdlePower, IdleCarbonFollowsIntensityTiming)
+{
+    // Intensity is high only in slot 1; a job busy during slot 1
+    // shields exactly that hour from idle draw.
+    std::vector<double> hourly(24 * 40, 10.0);
+    hourly[1] = 1000.0;
+    const CarbonTrace carbon("spike", hourly);
+    const CarbonInfoService cis(carbon);
+    ClusterConfig cluster;
+    cluster.reserved_cores = 1;
+    cluster.reserved_idle_power_fraction = 1.0;
+    cluster.reservation_horizon = hours(3);
+
+    const PolicyPtr p = makePolicy("NoWait");
+    // Busy during the expensive hour.
+    const JobTrace busy_spike("t", {{1, hours(1), hours(1), 1}});
+    const SimulationResult a =
+        simulate(busy_spike, *p, oneQueue(), cis, cluster,
+                 ResourceStrategy::ReservedFirst);
+    // Busy during a cheap hour instead.
+    const JobTrace busy_cheap("t", {{1, 0, hours(1), 1}});
+    const SimulationResult b =
+        simulate(busy_cheap, *p, oneQueue(), cis, cluster,
+                 ResourceStrategy::ReservedFirst);
+    EXPECT_LT(a.idle_carbon_kg, b.idle_carbon_kg);
+    // a: idle hours 0 and 2 at 10 g; b: idle hours 1 (1000 g) and
+    // 2 (10 g), at 5 W.
+    EXPECT_NEAR(a.idle_carbon_kg, 0.005 * 20.0 / 1000.0, 1e-12);
+    EXPECT_NEAR(b.idle_carbon_kg, 0.005 * 1010.0 / 1000.0, 1e-12);
+}
+
+TEST(IdlePowerDeath, FractionOutOfRange)
+{
+    ClusterConfig cluster;
+    cluster.reserved_idle_power_fraction = 1.5;
+    EXPECT_EXIT(cluster.validate(), ::testing::ExitedWithCode(1),
+                "idle power fraction");
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,280 @@
+/** @file Spot-instance behaviour tests for the simulator. */
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+
+namespace gaia {
+namespace {
+
+QueueConfig
+oneQueue(Seconds max_wait, Seconds avg = kSecondsPerHour)
+{
+    return QueueConfig({{"only", 3 * kSecondsPerDay, max_wait, avg}});
+}
+
+CarbonTrace
+flatTrace(double value = 100.0)
+{
+    return CarbonTrace("flat",
+                       std::vector<double>(24 * 40, value));
+}
+
+SimulationResult
+run(const JobTrace &trace, const std::string &policy,
+    const QueueConfig &queues, const CarbonInfoService &cis,
+    ClusterConfig cluster,
+    ResourceStrategy strategy = ResourceStrategy::SpotFirst)
+{
+    const PolicyPtr p = makePolicy(policy);
+    return simulate(trace, *p, queues, cis, cluster, strategy);
+}
+
+TEST(SimulatorSpot, ZeroEvictionRunsShortJobsOnSpot)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(2));
+    const JobTrace trace("t", {{1, 0, hours(1), 2}});
+    ClusterConfig cluster;
+    cluster.spot_max_length = 2 * kSecondsPerHour;
+    cluster.spot_eviction_rate = 0.0;
+
+    const SimulationResult r =
+        run(trace, "NoWait", queues, cis, cluster);
+    const JobOutcome &o = r.outcomes[0];
+    ASSERT_EQ(o.segments.size(), 1u);
+    EXPECT_EQ(o.segments[0].option, PurchaseOption::Spot);
+    EXPECT_FALSE(o.segments[0].lost);
+    EXPECT_EQ(o.evictions, 0);
+    // 2 core-hours at 20% of $0.0624.
+    EXPECT_NEAR(r.spot_cost, 2 * 0.0624 * 0.2, 1e-9);
+    EXPECT_DOUBLE_EQ(r.on_demand_cost, 0.0);
+}
+
+TEST(SimulatorSpot, LongJobsBypassSpot)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(2));
+    const JobTrace trace("t", {{1, 0, hours(5), 1}});
+    ClusterConfig cluster;
+    cluster.spot_max_length = 2 * kSecondsPerHour;
+
+    const SimulationResult r =
+        run(trace, "NoWait", queues, cis, cluster);
+    EXPECT_EQ(r.outcomes[0].segments[0].option,
+              PurchaseOption::OnDemand);
+    EXPECT_DOUBLE_EQ(r.spot_cost, 0.0);
+}
+
+TEST(SimulatorSpot, ZeroSpotBoundDisablesSpotEntirely)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(2));
+    const JobTrace trace("t", {{1, 0, minutes(30), 1}});
+    ClusterConfig cluster;
+    cluster.spot_max_length = 0;
+    const SimulationResult r =
+        run(trace, "NoWait", queues, cis, cluster);
+    EXPECT_EQ(r.outcomes[0].segments[0].option,
+              PurchaseOption::OnDemand);
+}
+
+TEST(SimulatorSpot, CertainEvictionRestartsOnDemand)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(2));
+    const JobTrace trace("t", {{1, 0, hours(2), 1}});
+    ClusterConfig cluster;
+    cluster.spot_max_length = 2 * kSecondsPerHour;
+    cluster.spot_eviction_rate = 1.0; // evicted within the hour
+
+    const SimulationResult r =
+        run(trace, "NoWait", queues, cis, cluster);
+    const JobOutcome &o = r.outcomes[0];
+    EXPECT_EQ(o.evictions, 1);
+    EXPECT_EQ(r.eviction_count, 1u);
+
+    ASSERT_GE(o.segments.size(), 1u);
+    // Depending on the sampled offset there may be no recorded
+    // lost slice (offset 0), but the final segment is always a
+    // full-length on-demand run.
+    const PlacedSegment &final = o.segments.back();
+    EXPECT_EQ(final.option, PurchaseOption::OnDemand);
+    EXPECT_FALSE(final.lost);
+    EXPECT_EQ(final.duration(), hours(2));
+    if (o.segments.size() == 2u) {
+        EXPECT_EQ(o.segments[0].option, PurchaseOption::Spot);
+        EXPECT_TRUE(o.segments[0].lost);
+        EXPECT_LT(o.segments[0].duration(), kSecondsPerHour);
+        EXPECT_GT(o.lost_core_seconds, 0.0);
+    }
+    // Completion = eviction offset + a fresh full run.
+    EXPECT_EQ(o.finish - o.start - o.lost_core_seconds, hours(2));
+    EXPECT_GE(o.waiting(), 0);
+}
+
+TEST(SimulatorSpot, EvictionCostsMoreThanCleanRun)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(2));
+    const JobTrace trace("t", {{1, 0, hours(2), 1}});
+    ClusterConfig cluster;
+    cluster.spot_max_length = 2 * kSecondsPerHour;
+
+    cluster.spot_eviction_rate = 0.0;
+    const double clean =
+        run(trace, "NoWait", queues, cis, cluster).totalCost();
+    cluster.spot_eviction_rate = 1.0;
+    const double evicted =
+        run(trace, "NoWait", queues, cis, cluster).totalCost();
+    EXPECT_GT(evicted, clean);
+}
+
+TEST(SimulatorSpot, RestartPrefersFreeReservedCores)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(2));
+    const JobTrace trace("t", {{1, 0, hours(2), 1}});
+    ClusterConfig cluster;
+    cluster.reserved_cores = 2;
+    cluster.spot_max_length = 2 * kSecondsPerHour;
+    cluster.spot_eviction_rate = 1.0;
+
+    const SimulationResult r =
+        run(trace, "NoWait", queues, cis, cluster,
+            ResourceStrategy::SpotReserved);
+    const PlacedSegment &final = r.outcomes[0].segments.back();
+    EXPECT_EQ(final.option, PurchaseOption::Reserved);
+    EXPECT_EQ(final.duration(), hours(2));
+}
+
+TEST(SimulatorSpot, SpotReservedRoutesLongJobsWorkConserving)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(6));
+    const JobTrace trace("t", {{1, 0, hours(5), 1},   // long
+                               {2, 0, hours(1), 1}}); // short
+    ClusterConfig cluster;
+    cluster.reserved_cores = 1;
+    cluster.spot_max_length = 2 * kSecondsPerHour;
+
+    const SimulationResult r =
+        run(trace, "AllWait-Threshold", queues, cis, cluster,
+            ResourceStrategy::SpotReserved);
+    // Long job grabs the reserved core immediately.
+    EXPECT_EQ(r.outcomes[0].segments[0].option,
+              PurchaseOption::Reserved);
+    EXPECT_EQ(r.outcomes[0].start, 0);
+    // Short job goes to spot at its planned start.
+    EXPECT_EQ(r.outcomes[1].segments[0].option,
+              PurchaseOption::Spot);
+}
+
+TEST(SimulatorSpot, MultiSegmentSpotPlanSurvivesWithoutEvictions)
+{
+    std::vector<double> hourly(24 * 40, 500.0);
+    hourly[1] = 10.0;
+    hourly[3] = 20.0;
+    const CarbonTrace carbon("step", hourly);
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(2));
+    const JobTrace trace("t", {{1, 0, hours(2), 1}});
+    ClusterConfig cluster;
+    cluster.spot_max_length = 2 * kSecondsPerHour;
+
+    const SimulationResult r =
+        run(trace, "Wait-Awhile", queues, cis, cluster);
+    const JobOutcome &o = r.outcomes[0];
+    ASSERT_EQ(o.segments.size(), 2u);
+    for (const PlacedSegment &seg : o.segments) {
+        EXPECT_EQ(seg.option, PurchaseOption::Spot);
+        EXPECT_FALSE(seg.lost);
+    }
+}
+
+TEST(SimulatorSpot, MultiSegmentEvictionAbortsAndRestarts)
+{
+    std::vector<double> hourly(24 * 40, 500.0);
+    hourly[1] = 10.0;
+    hourly[3] = 20.0;
+    const CarbonTrace carbon("step", hourly);
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(2));
+    const JobTrace trace("t", {{1, 0, hours(2), 1}});
+    ClusterConfig cluster;
+    cluster.spot_max_length = 2 * kSecondsPerHour;
+    cluster.spot_eviction_rate = 1.0;
+
+    const SimulationResult r =
+        run(trace, "Wait-Awhile", queues, cis, cluster);
+    const JobOutcome &o = r.outcomes[0];
+    EXPECT_EQ(o.evictions, 1);
+    const PlacedSegment &final = o.segments.back();
+    EXPECT_EQ(final.option, PurchaseOption::OnDemand);
+    EXPECT_EQ(final.duration(), hours(2)); // full restart
+    // Every earlier slice was marked lost.
+    for (std::size_t i = 0; i + 1 < o.segments.size(); ++i)
+        EXPECT_TRUE(o.segments[i].lost);
+}
+
+TEST(SimulatorSpot, EvictionSamplingIsSeedDeterministic)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(2));
+    std::vector<Job> jobs;
+    for (int i = 0; i < 30; ++i)
+        jobs.push_back({i, i * 1000, hours(1), 1});
+    const JobTrace trace("t", std::move(jobs));
+    ClusterConfig cluster;
+    cluster.spot_max_length = 2 * kSecondsPerHour;
+    cluster.spot_eviction_rate = 0.3;
+    cluster.seed = 77;
+
+    const SimulationResult a =
+        run(trace, "NoWait", queues, cis, cluster);
+    const SimulationResult b =
+        run(trace, "NoWait", queues, cis, cluster);
+    EXPECT_EQ(a.eviction_count, b.eviction_count);
+    EXPECT_DOUBLE_EQ(a.totalCost(), b.totalCost());
+
+    cluster.seed = 78;
+    const SimulationResult c =
+        run(trace, "NoWait", queues, cis, cluster);
+    // A different seed may (and with 30 jobs at 30%/h almost surely
+    // does) shuffle eviction outcomes.
+    EXPECT_TRUE(c.eviction_count != a.eviction_count ||
+                c.totalCost() != a.totalCost());
+}
+
+TEST(SimulatorSpot, EvictionRateMatchesModelAcrossManyJobs)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(2));
+    std::vector<Job> jobs;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i)
+        jobs.push_back({i, i * 100, hours(1), 1});
+    const JobTrace trace("t", std::move(jobs));
+    ClusterConfig cluster;
+    cluster.spot_max_length = 2 * kSecondsPerHour;
+    cluster.spot_eviction_rate = 0.10;
+
+    const SimulationResult r =
+        run(trace, "NoWait", queues, cis, cluster);
+    // One-hour jobs: eviction probability per job is exactly 10%.
+    EXPECT_NEAR(static_cast<double>(r.eviction_count) / n, 0.10,
+                0.02);
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Focused scenarios for the work-conserving ReservedFirst machinery:
+ * drain ordering, first-fit behaviour, and event-timing ties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+
+namespace gaia {
+namespace {
+
+QueueConfig
+oneQueue(Seconds max_wait)
+{
+    return QueueConfig(
+        {{"only", 3 * kSecondsPerDay, max_wait, kSecondsPerHour}});
+}
+
+CarbonTrace
+flatTrace()
+{
+    return CarbonTrace("flat",
+                       std::vector<double>(24 * 40, 100.0));
+}
+
+SimulationResult
+runReservedFirst(const JobTrace &trace, int reserved,
+                 Seconds max_wait,
+                 const std::string &policy = "AllWait-Threshold")
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(max_wait);
+    ClusterConfig cluster;
+    cluster.reserved_cores = reserved;
+    const PolicyPtr p = makePolicy(policy);
+    return simulate(trace, *p, queues, cis, cluster,
+                    ResourceStrategy::ReservedFirst);
+}
+
+TEST(WorkConserving, FirstFitSkipsWideHeadOfLine)
+{
+    // Pool of 2. Job A (2 cores, 2 h) fills it. Job B (2 cores)
+    // and job C (1 core) queue behind. When A releases both cores,
+    // B (earlier planned start) takes them; C must wait for B even
+    // though C arrived before... — construct the opposite: B too
+    // wide for a partial release, C slips through (first-fit).
+    const JobTrace trace(
+        "t", {
+                 {1, 0, hours(2), 1},      // A1: 1 core
+                 {2, 0, hours(4), 1},      // A2: 1 core
+                 {3, 100, hours(1), 2},    // B: needs both cores
+                 {4, 200, hours(1), 1},    // C: fits a single core
+             });
+    const SimulationResult r =
+        runReservedFirst(trace, 2, hours(20));
+
+    // A1 frees one core at 2 h: B (2 cores) cannot fit, C can.
+    EXPECT_EQ(r.outcomes[2].start, hours(4)); // B waits for A2 too
+    EXPECT_EQ(r.outcomes[3].start, hours(2)); // C takes the core
+    EXPECT_EQ(r.outcomes[3].segments[0].option,
+              PurchaseOption::Reserved);
+}
+
+TEST(WorkConserving, DrainOrderFollowsPlannedStart)
+{
+    // With AllWait the planned start is submit + W, so earlier
+    // submitters drain first.
+    const JobTrace trace("t", {
+                                  {1, 0, hours(3), 1},
+                                  {2, 100, hours(1), 1},
+                                  {3, 200, hours(1), 1},
+                              });
+    const SimulationResult r =
+        runReservedFirst(trace, 1, hours(20));
+    EXPECT_EQ(r.outcomes[1].start, hours(3));
+    EXPECT_EQ(r.outcomes[2].start, hours(4));
+    for (const JobOutcome &o : r.outcomes)
+        EXPECT_EQ(o.segments[0].option, PurchaseOption::Reserved);
+}
+
+TEST(WorkConserving, CascadingReleasesDrainEverything)
+{
+    // Ten queued jobs funnel through one reserved core strictly
+    // back-to-back: total busy time has no gaps.
+    std::vector<Job> jobs;
+    for (int i = 0; i < 10; ++i)
+        jobs.push_back({i, 0, hours(1), 1});
+    const JobTrace trace("t", std::move(jobs));
+    const SimulationResult r =
+        runReservedFirst(trace, 1, hours(30));
+
+    std::vector<Seconds> starts;
+    for (const JobOutcome &o : r.outcomes)
+        starts.push_back(o.start);
+    std::sort(starts.begin(), starts.end());
+    for (std::size_t i = 0; i < starts.size(); ++i)
+        EXPECT_EQ(starts[i], static_cast<Seconds>(i) * hours(1));
+    EXPECT_DOUBLE_EQ(r.reserved_utilization *
+                         static_cast<double>(r.horizon),
+                     10.0 * hours(1));
+}
+
+TEST(WorkConserving, ReleaseAndDeadlineTieIsDeterministic)
+{
+    // Job B's waiting limit expires exactly when job A releases
+    // the core. Whatever the resolution, it must be identical
+    // across runs.
+    const JobTrace trace("t", {
+                                  {1, 0, hours(2), 1},
+                                  {2, 0, hours(1), 1},
+                              });
+    const SimulationResult a =
+        runReservedFirst(trace, 1, hours(2));
+    const SimulationResult b =
+        runReservedFirst(trace, 1, hours(2));
+    EXPECT_EQ(a.outcomes[1].start, b.outcomes[1].start);
+    EXPECT_EQ(a.outcomes[1].segments[0].option,
+              b.outcomes[1].segments[0].option);
+    EXPECT_EQ(a.outcomes[1].start, hours(2));
+}
+
+TEST(WorkConserving, ZeroReservedDegeneratesToPlannedStarts)
+{
+    const JobTrace trace("t", {{1, 0, hours(1), 1},
+                               {2, 50, hours(1), 2}});
+    const SimulationResult r =
+        runReservedFirst(trace, 0, hours(3));
+    for (const JobOutcome &o : r.outcomes) {
+        EXPECT_EQ(o.start, o.submit + hours(3));
+        EXPECT_EQ(o.segments[0].option, PurchaseOption::OnDemand);
+    }
+}
+
+TEST(WorkConserving, CarbonPolicyStillUsesCarbonStartWhenQueued)
+{
+    // Reserved core is busy for a long time; the Lowest-Slot job
+    // falls back to on-demand at its carbon-chosen start, not at
+    // submit+W.
+    std::vector<double> hourly(24 * 40, 500.0);
+    hourly[2] = 10.0;
+    const CarbonTrace carbon("step", hourly);
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(6));
+    const JobTrace trace("t", {{1, 0, hours(10), 1},
+                               {2, 0, hours(1), 1}});
+    ClusterConfig cluster;
+    cluster.reserved_cores = 1;
+    const PolicyPtr p = makePolicy("Lowest-Slot");
+    const SimulationResult r =
+        simulate(trace, *p, queues, cis, cluster,
+                 ResourceStrategy::ReservedFirst);
+    EXPECT_EQ(r.outcomes[1].start, hours(2));
+    EXPECT_EQ(r.outcomes[1].segments[0].option,
+              PurchaseOption::OnDemand);
+}
+
+TEST(WorkConserving, MixedWidthHeavyLoadInvariants)
+{
+    // Stress: 200 mixed-width jobs through a small pool; the
+    // engine's internal assertions plus these checks cover pending
+    // bookkeeping under heavy churn.
+    std::vector<Job> jobs;
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        jobs.push_back({i, rng.uniformInt(0, hours(24)),
+                        rng.uniformInt(600, hours(3)),
+                        static_cast<int>(rng.uniformInt(1, 4))});
+    }
+    const JobTrace trace("t", std::move(jobs));
+    const SimulationResult r =
+        runReservedFirst(trace, 6, hours(8), "Carbon-Time");
+    ASSERT_EQ(r.outcomes.size(), 200u);
+    for (const JobOutcome &o : r.outcomes) {
+        EXPECT_GE(o.start, o.submit);
+        EXPECT_LE(o.start, o.submit + hours(8));
+    }
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,146 @@
+/** @file Tests for the hourly carbon-intensity series. */
+
+#include "trace/carbon_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/time.h"
+
+namespace gaia {
+namespace {
+
+CarbonTrace
+makeTrace()
+{
+    // Four hours: 100, 200, 50, 400 g/kWh.
+    return CarbonTrace("test", {100.0, 200.0, 50.0, 400.0});
+}
+
+TEST(CarbonTrace, BasicAccessors)
+{
+    const CarbonTrace t = makeTrace();
+    EXPECT_EQ(t.region(), "test");
+    EXPECT_EQ(t.slotCount(), 4u);
+    EXPECT_EQ(t.duration(), 4 * kSecondsPerHour);
+    EXPECT_DOUBLE_EQ(t.atSlot(0), 100.0);
+    EXPECT_DOUBLE_EQ(t.atSlot(3), 400.0);
+}
+
+TEST(CarbonTrace, AtIsPiecewiseConstant)
+{
+    const CarbonTrace t = makeTrace();
+    EXPECT_DOUBLE_EQ(t.at(0), 100.0);
+    EXPECT_DOUBLE_EQ(t.at(3599), 100.0);
+    EXPECT_DOUBLE_EQ(t.at(3600), 200.0);
+    EXPECT_DOUBLE_EQ(t.at(2 * 3600 + 1800), 50.0);
+}
+
+TEST(CarbonTrace, QueriesClampBeyondEnds)
+{
+    const CarbonTrace t = makeTrace();
+    EXPECT_DOUBLE_EQ(t.at(100 * kSecondsPerHour), 400.0);
+    EXPECT_DOUBLE_EQ(t.atSlot(-3), 100.0);
+}
+
+TEST(CarbonTrace, IntegrateWholeSlots)
+{
+    const CarbonTrace t = makeTrace();
+    EXPECT_DOUBLE_EQ(t.integrate(0, 3600), 100.0 * 3600);
+    EXPECT_DOUBLE_EQ(t.integrate(0, 2 * 3600),
+                     (100.0 + 200.0) * 3600);
+}
+
+TEST(CarbonTrace, IntegratePartialSlots)
+{
+    const CarbonTrace t = makeTrace();
+    // Half of slot 0 plus a quarter of slot 1.
+    EXPECT_DOUBLE_EQ(t.integrate(1800, 3600 + 900),
+                     100.0 * 1800 + 200.0 * 900);
+    EXPECT_DOUBLE_EQ(t.integrate(500, 500), 0.0);
+}
+
+TEST(CarbonTrace, IntegralIsAdditive)
+{
+    const CarbonTrace t = makeTrace();
+    const double whole = t.integrate(100, 4 * 3600 - 10);
+    const double split = t.integrate(100, 7000) +
+                         t.integrate(7000, 4 * 3600 - 10);
+    EXPECT_NEAR(whole, split, 1e-9);
+}
+
+TEST(CarbonTrace, GramsForConvertsUnits)
+{
+    const CarbonTrace t = makeTrace();
+    // 1 kW for one hour at 100 g/kWh -> 100 g.
+    EXPECT_DOUBLE_EQ(t.gramsFor(0, 3600, 1.0), 100.0);
+    // 0.5 kW for 2 hours spanning 100 and 200 -> 150 g.
+    EXPECT_DOUBLE_EQ(t.gramsFor(0, 2 * 3600, 0.5), 150.0);
+    EXPECT_DOUBLE_EQ(t.gramsFor(0, 3600, 0.0), 0.0);
+}
+
+TEST(CarbonTrace, MinSlotFindsGlobalAndTies)
+{
+    const CarbonTrace t = makeTrace();
+    EXPECT_EQ(t.minSlotIn(0, 4 * 3600), 2);
+    EXPECT_EQ(t.minSlotIn(0, 2 * 3600), 0);
+    // Tie: equal values resolve to the earliest slot.
+    const CarbonTrace tie("tie", {5.0, 5.0, 5.0});
+    EXPECT_EQ(tie.minSlotIn(0, 3 * 3600), 0);
+}
+
+TEST(CarbonTrace, MinSlotRespectsWindowStart)
+{
+    const CarbonTrace t = makeTrace();
+    EXPECT_EQ(t.minSlotIn(3 * 3600, 4 * 3600), 3);
+}
+
+TEST(CarbonTrace, PercentileAndMeanOverWindow)
+{
+    const CarbonTrace t = makeTrace();
+    EXPECT_DOUBLE_EQ(t.percentileOver(0, 4 * 3600, 0.0), 50.0);
+    EXPECT_DOUBLE_EQ(t.percentileOver(0, 4 * 3600, 100.0), 400.0);
+    EXPECT_DOUBLE_EQ(t.meanOver(0, 4 * 3600),
+                     (100.0 + 200.0 + 50.0 + 400.0) / 4.0);
+}
+
+TEST(CarbonTrace, ResizedRepeatsValues)
+{
+    const CarbonTrace t = makeTrace();
+    const CarbonTrace longer = t.resized(6);
+    EXPECT_EQ(longer.slotCount(), 6u);
+    EXPECT_DOUBLE_EQ(longer.atSlot(4), 100.0);
+    EXPECT_DOUBLE_EQ(longer.atSlot(5), 200.0);
+    const CarbonTrace shorter = t.resized(2);
+    EXPECT_EQ(shorter.slotCount(), 2u);
+}
+
+TEST(CarbonTrace, CsvRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "carbon.csv";
+    makeTrace().toCsv(path);
+    const CarbonTrace back = CarbonTrace::fromCsv(path, "test");
+    ASSERT_EQ(back.slotCount(), 4u);
+    EXPECT_DOUBLE_EQ(back.atSlot(3), 400.0);
+    std::remove(path.c_str());
+}
+
+TEST(CarbonTraceDeath, InvalidConstruction)
+{
+    EXPECT_EXIT(CarbonTrace("x", {}), ::testing::ExitedWithCode(1),
+                "no slots");
+    EXPECT_EXIT(CarbonTrace("x", {1.0, -2.0}),
+                ::testing::ExitedWithCode(1), "invalid intensity");
+}
+
+TEST(CarbonTraceDeath, InvalidQueries)
+{
+    const CarbonTrace t = makeTrace();
+    EXPECT_DEATH(t.integrate(100, 50), "from");
+    EXPECT_DEATH(t.minSlotIn(100, 100), "empty window");
+    EXPECT_DEATH(t.gramsFor(0, 10, -1.0), "negative power");
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,133 @@
+/** @file Tests for the carbon-intensity forecasters. */
+
+#include "trace/forecast.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/region_model.h"
+
+namespace gaia {
+namespace {
+
+/** Perfectly periodic daily trace: persistence should be exact. */
+CarbonTrace
+periodicTrace(std::size_t days)
+{
+    std::vector<double> values;
+    for (std::size_t d = 0; d < days; ++d)
+        for (int h = 0; h < 24; ++h)
+            values.push_back(100.0 + 10.0 * h);
+    return CarbonTrace("periodic", std::move(values));
+}
+
+TEST(Persistence, ExactOnPeriodicTrace)
+{
+    const CarbonTrace trace = periodicTrace(10);
+    const PersistenceForecaster f;
+    const Seconds now = slotStart(5 * 24);
+    for (SlotIndex s = 5 * 24; s < 7 * 24; ++s)
+        EXPECT_DOUBLE_EQ(f.predict(trace, now, s),
+                         trace.atSlot(s));
+}
+
+TEST(Persistence, UsesLatestObservableDay)
+{
+    // Slot values distinguish days; a 3-day-ahead forecast must
+    // come from the last *observed* day, not the future.
+    std::vector<double> values;
+    for (int d = 0; d < 10; ++d)
+        for (int h = 0; h < 24; ++h)
+            values.push_back(100.0 * (d + 1));
+    const CarbonTrace trace("bydays", std::move(values));
+    const PersistenceForecaster f;
+    const Seconds now = slotStart(4 * 24 + 3); // day 4, 03:00
+    // Forecast day 7: must walk back to day 4 (observed).
+    EXPECT_DOUBLE_EQ(f.predict(trace, now, 7 * 24 + 2), 500.0);
+    // Day 4's still-future hours resolve from day 3.
+    EXPECT_DOUBLE_EQ(f.predict(trace, now, 4 * 24 + 10), 400.0);
+}
+
+TEST(Profile, AveragesTrailingWindow)
+{
+    // Days alternate 100 / 200 for hour 0; a 2-day profile with no
+    // persistence blend predicts 150.
+    std::vector<double> values;
+    for (int d = 0; d < 8; ++d)
+        for (int h = 0; h < 24; ++h)
+            values.push_back(d % 2 == 0 ? 100.0 : 200.0);
+    const CarbonTrace trace("alt", std::move(values));
+    const DiurnalProfileForecaster f(2, 0.0);
+    const Seconds now = slotStart(6 * 24);
+    EXPECT_DOUBLE_EQ(f.predict(trace, now, 6 * 24 + 1), 150.0);
+}
+
+TEST(Profile, PersistenceBlend)
+{
+    std::vector<double> values;
+    for (int d = 0; d < 8; ++d)
+        for (int h = 0; h < 24; ++h)
+            values.push_back(d % 2 == 0 ? 100.0 : 200.0);
+    const CarbonTrace trace("alt", std::move(values));
+    // Pure persistence weight: prediction equals yesterday.
+    const DiurnalProfileForecaster f(2, 1.0);
+    const Seconds now = slotStart(6 * 24);
+    EXPECT_DOUBLE_EQ(f.predict(trace, now, 6 * 24 + 1), 200.0);
+}
+
+TEST(Profile, ColdStartDoesNotCrash)
+{
+    const CarbonTrace trace = periodicTrace(1);
+    const DiurnalProfileForecaster f(7, 0.3);
+    const double p = f.predict(trace, 0, 3);
+    EXPECT_GT(p, 0.0);
+}
+
+TEST(ProfileDeath, InvalidParameters)
+{
+    EXPECT_EXIT(DiurnalProfileForecaster(0, 0.3),
+                ::testing::ExitedWithCode(1), "window");
+    EXPECT_EXIT(DiurnalProfileForecaster(7, 1.5),
+                ::testing::ExitedWithCode(1),
+                "persistence weight");
+}
+
+TEST(Evaluate, ZeroErrorOnPeriodicTrace)
+{
+    const CarbonTrace trace = periodicTrace(30);
+    const PersistenceForecaster f;
+    const auto accuracy =
+        evaluateForecaster(f, trace, {1, 24, 48}, 5);
+    ASSERT_EQ(accuracy.size(), 3u);
+    for (const ForecastAccuracy &a : accuracy)
+        EXPECT_NEAR(a.mape, 0.0, 1e-12);
+}
+
+TEST(Evaluate, ErrorGrowsWithLeadOnRealisticTrace)
+{
+    const CarbonTrace trace =
+        makeRegionTrace(Region::SouthAustralia, 24 * 60, 5);
+    const DiurnalProfileForecaster f;
+    const auto accuracy =
+        evaluateForecaster(f, trace, {1, 24, 72});
+    // Day-ahead error on a volatile grid is sizeable but bounded.
+    EXPECT_GT(accuracy[1].mape, 0.02);
+    EXPECT_LT(accuracy[1].mape, 0.8);
+    // Longer leads cannot be (much) better than short ones.
+    EXPECT_GE(accuracy[2].mape, accuracy[0].mape * 0.8);
+}
+
+TEST(Evaluate, ProfileBeatsPersistenceOnNoisyGrid)
+{
+    // Averaging suppresses the AR(1) noise that persistence
+    // copies verbatim.
+    const CarbonTrace trace =
+        makeRegionTrace(Region::OntarioCanada, 24 * 60, 9);
+    const auto persistence = evaluateForecaster(
+        PersistenceForecaster(), trace, {24});
+    const auto profile = evaluateForecaster(
+        DiurnalProfileForecaster(7, 0.0), trace, {24});
+    EXPECT_LT(profile[0].mape, persistence[0].mape);
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,81 @@
+/** @file Tests for price traces and the joint ERCOT model. */
+
+#include "trace/price_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace gaia {
+namespace {
+
+TEST(PriceTrace, AccessorsAndClamping)
+{
+    const PriceTrace p("m", {10.0, 20.0, 30.0});
+    EXPECT_EQ(p.market(), "m");
+    EXPECT_EQ(p.slotCount(), 3u);
+    EXPECT_DOUBLE_EQ(p.at(0), 10.0);
+    EXPECT_DOUBLE_EQ(p.at(3 * kSecondsPerHour + 5), 30.0);
+    EXPECT_DOUBLE_EQ(p.atSlot(-1), 10.0);
+}
+
+TEST(PriceTraceDeath, InvalidConstruction)
+{
+    EXPECT_EXIT(PriceTrace("m", {}), ::testing::ExitedWithCode(1),
+                "no slots");
+    EXPECT_EXIT(PriceTrace("m", {1.0, -2.0}),
+                ::testing::ExitedWithCode(1), "invalid price");
+}
+
+TEST(ErcotModel, Deterministic)
+{
+    const GridMarketTrace a = makeErcotTrace(300, 3);
+    const GridMarketTrace b = makeErcotTrace(300, 3);
+    for (std::size_t i = 0; i < 300; ++i) {
+        EXPECT_DOUBLE_EQ(a.price.values()[i], b.price.values()[i]);
+        EXPECT_DOUBLE_EQ(a.carbon.values()[i],
+                         b.carbon.values()[i]);
+    }
+}
+
+TEST(ErcotModel, SeriesAreAlignedAndPositive)
+{
+    const GridMarketTrace t = makeErcotTrace(1000, 5);
+    ASSERT_EQ(t.carbon.slotCount(), 1000u);
+    ASSERT_EQ(t.price.slotCount(), 1000u);
+    for (double v : t.price.values())
+        EXPECT_GE(v, 0.0);
+    for (double v : t.carbon.values())
+        EXPECT_GT(v, 0.0);
+}
+
+TEST(ErcotModel, WeakPriceCarbonCorrelation)
+{
+    // The paper's discussion reports rho ~= 0.16 for ERCOT; the
+    // model must land in a weak-positive band, not strongly coupled
+    // in either direction.
+    const std::size_t slots = 24u * 365u;
+    const GridMarketTrace t = makeErcotTrace(slots, 7);
+    const double rho =
+        pearson(t.carbon.values(), t.price.values());
+    EXPECT_GT(rho, 0.02);
+    EXPECT_LT(rho, 0.40);
+}
+
+TEST(ErcotModel, PriceHasEveningPeakStructure)
+{
+    const GridMarketTrace t = makeErcotTrace(24u * 200u, 9);
+    RunningStats evening, predawn;
+    for (std::size_t h = 0; h < t.price.slotCount(); ++h) {
+        const int hod = static_cast<int>(h % 24);
+        if (hod >= 16 && hod <= 19)
+            evening.add(t.price.values()[h]);
+        else if (hod >= 2 && hod <= 5)
+            predawn.add(t.price.values()[h]);
+    }
+    EXPECT_GT(evening.mean(), predawn.mean());
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,206 @@
+/** @file Tests for the synthetic grid-region models. */
+
+#include "trace/region_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace gaia {
+namespace {
+
+constexpr std::size_t kYearSlots =
+    static_cast<std::size_t>(kHoursPerYear);
+
+RunningStats
+statsOf(const CarbonTrace &trace)
+{
+    RunningStats s;
+    for (double v : trace.values())
+        s.add(v);
+    return s;
+}
+
+TEST(RegionModel, NamesRoundTrip)
+{
+    for (Region r :
+         {Region::SouthAustralia, Region::OntarioCanada,
+          Region::CaliforniaUS, Region::Netherlands,
+          Region::KentuckyUS, Region::Sweden, Region::TexasUS}) {
+        EXPECT_EQ(regionFromName(regionName(r)), r);
+    }
+}
+
+TEST(RegionModelDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(regionFromName("Mars"), ::testing::ExitedWithCode(1),
+                "unknown region");
+}
+
+TEST(RegionModel, EvaluationRegionsMatchPaper)
+{
+    const auto &regions = evaluationRegions();
+    ASSERT_EQ(regions.size(), 5u);
+    EXPECT_EQ(regions.front(), Region::SouthAustralia);
+    EXPECT_EQ(regions.back(), Region::KentuckyUS);
+}
+
+TEST(RegionModel, DeterministicForSeed)
+{
+    const CarbonTrace a =
+        makeRegionTrace(Region::CaliforniaUS, 500, 9);
+    const CarbonTrace b =
+        makeRegionTrace(Region::CaliforniaUS, 500, 9);
+    ASSERT_EQ(a.slotCount(), b.slotCount());
+    for (std::size_t i = 0; i < a.slotCount(); ++i)
+        EXPECT_DOUBLE_EQ(a.values()[i], b.values()[i]);
+}
+
+TEST(RegionModel, SeedsChangeNoiseOnly)
+{
+    const CarbonTrace a =
+        makeRegionTrace(Region::CaliforniaUS, kYearSlots, 1);
+    const CarbonTrace b =
+        makeRegionTrace(Region::CaliforniaUS, kYearSlots, 2);
+    EXPECT_NE(a.values()[10], b.values()[10]);
+    // Means stay close: seeds only perturb the AR(1) noise.
+    EXPECT_NEAR(statsOf(a).mean(), statsOf(b).mean(),
+                statsOf(a).mean() * 0.05);
+}
+
+/** Every region respects its floor and stays finite. */
+class RegionSweep : public ::testing::TestWithParam<Region>
+{
+};
+
+TEST_P(RegionSweep, ValuesRespectFloorAndScale)
+{
+    const RegionParams params = regionParams(GetParam());
+    const CarbonTrace trace =
+        makeRegionTrace(GetParam(), kYearSlots, 3);
+    const RunningStats s = statsOf(trace);
+    EXPECT_GE(s.min(), params.floor);
+    EXPECT_LT(s.max(), params.base * 3.0);
+    // Annual mean within 25% of the calibrated base.
+    EXPECT_NEAR(s.mean(), params.base, params.base * 0.25);
+}
+
+TEST_P(RegionSweep, StartDayShiftsSeason)
+{
+    const CarbonTrace winter =
+        makeRegionTrace(GetParam(), 24 * 28, 3, 0.0);
+    const CarbonTrace summer =
+        makeRegionTrace(GetParam(), 24 * 28, 3, 182.0);
+    const RegionParams params = regionParams(GetParam());
+    if (params.seasonal_amp < 0.1)
+        GTEST_SKIP() << "region has no meaningful seasonality";
+    EXPECT_NE(statsOf(winter).mean(), statsOf(summer).mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegions, RegionSweep,
+    ::testing::Values(Region::SouthAustralia, Region::OntarioCanada,
+                      Region::CaliforniaUS, Region::Netherlands,
+                      Region::KentuckyUS, Region::Sweden,
+                      Region::TexasUS),
+    [](const ::testing::TestParamInfo<Region> &info) {
+        std::string name = regionName(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(RegionModel, VariabilityClassesMatchFigure6)
+{
+    // CoV ordering must reproduce the paper's Stable/Variable
+    // grouping: SA most variable; KY and SE stable.
+    const double cov_sa = statsOf(makeRegionTrace(
+        Region::SouthAustralia, kYearSlots, 5)).cov();
+    const double cov_ca = statsOf(makeRegionTrace(
+        Region::CaliforniaUS, kYearSlots, 5)).cov();
+    const double cov_ky = statsOf(makeRegionTrace(
+        Region::KentuckyUS, kYearSlots, 5)).cov();
+    const double cov_se =
+        statsOf(makeRegionTrace(Region::Sweden, kYearSlots, 5)).cov();
+
+    EXPECT_GT(cov_sa, cov_ca);
+    EXPECT_GT(cov_ca, cov_ky);
+    EXPECT_LT(cov_ky, 0.12);
+    EXPECT_LT(cov_se, 0.12);
+    EXPECT_GT(cov_sa, 0.3);
+}
+
+TEST(RegionModel, LevelClassesMatchFigure6)
+{
+    const double mean_ky = statsOf(makeRegionTrace(
+        Region::KentuckyUS, kYearSlots, 5)).mean();
+    const double mean_nl = statsOf(makeRegionTrace(
+        Region::Netherlands, kYearSlots, 5)).mean();
+    const double mean_ca = statsOf(makeRegionTrace(
+        Region::CaliforniaUS, kYearSlots, 5)).mean();
+    const double mean_on = statsOf(makeRegionTrace(
+        Region::OntarioCanada, kYearSlots, 5)).mean();
+    const double mean_se =
+        statsOf(makeRegionTrace(Region::Sweden, kYearSlots, 5))
+            .mean();
+
+    EXPECT_GT(mean_ky, mean_nl);
+    EXPECT_GT(mean_nl, mean_ca);
+    EXPECT_GT(mean_ca, mean_on);
+    EXPECT_GT(mean_on, mean_se);
+    // Figure 1's ~9x spatial spread across regions.
+    EXPECT_GT(mean_ky / mean_se, 9.0);
+}
+
+TEST(RegionModel, CaliforniaDailySwingMatchesFigure1)
+{
+    // The paper quotes up to ~3.4x within-day variation for the
+    // Figure 1 regions; California's duck curve drives most of it
+    // (deepest in summer, when solar output peaks).
+    const CarbonTrace ca =
+        makeRegionTrace(Region::CaliforniaUS, 24 * 365, 7);
+    double worst = 0.0;
+    for (std::size_t day = 0; day < 365; ++day) {
+        double lo = 1e18, hi = 0.0;
+        for (std::size_t h = 0; h < 24; ++h) {
+            const double v = ca.values()[day * 24 + h];
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        worst = std::max(worst, hi / lo);
+    }
+    EXPECT_GT(worst, 2.0);
+    EXPECT_LT(worst, 6.0);
+}
+
+TEST(RegionModel, SouthAustraliaSeasonalDoubling)
+{
+    // Figure 7: SA mean CI roughly doubles from July to December.
+    const CarbonTrace sa =
+        makeRegionTrace(Region::SouthAustralia, kYearSlots, 11);
+    RunningStats july, december;
+    for (std::size_t h = 0; h < sa.slotCount(); ++h) {
+        const int m = monthOf(static_cast<Seconds>(h) *
+                              kSecondsPerHour);
+        if (m == 6)
+            july.add(sa.values()[h]);
+        else if (m == 11)
+            december.add(sa.values()[h]);
+    }
+    EXPECT_GT(december.mean() / july.mean(), 1.5);
+}
+
+TEST(RegionModelDeath, BadParametersRejected)
+{
+    RegionParams p = regionParams(Region::Sweden);
+    p.noise_rho = 1.5;
+    EXPECT_DEATH(makeTraceFromParams(p, 10, 1), "rho out of range");
+    EXPECT_DEATH(makeTraceFromParams(regionParams(Region::Sweden), 0,
+                                     1),
+                 "at least one slot");
+}
+
+} // namespace
+} // namespace gaia

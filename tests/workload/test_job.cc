@@ -1,0 +1,108 @@
+/** @file Tests for jobs and job traces. */
+
+#include "workload/job.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace gaia {
+namespace {
+
+JobTrace
+makeTrace()
+{
+    // Deliberately unsorted input; ids encode the expected order.
+    return JobTrace("t", {
+                             {2, 500, 100, 1},
+                             {1, 100, 3600, 2},
+                             {3, 900, 50, 4},
+                         });
+}
+
+TEST(Job, CoreSeconds)
+{
+    const Job j{1, 0, 100, 3};
+    EXPECT_DOUBLE_EQ(j.coreSeconds(), 300.0);
+}
+
+TEST(JobTrace, SortsBySubmitTime)
+{
+    const JobTrace t = makeTrace();
+    ASSERT_EQ(t.jobCount(), 3u);
+    EXPECT_EQ(t.job(0).id, 1);
+    EXPECT_EQ(t.job(1).id, 2);
+    EXPECT_EQ(t.job(2).id, 3);
+    EXPECT_EQ(t.lastArrival(), 900);
+}
+
+TEST(JobTrace, StableOrderForEqualSubmits)
+{
+    const JobTrace t("t", {{7, 100, 10, 1}, {8, 100, 10, 1}});
+    EXPECT_EQ(t.job(0).id, 7);
+    EXPECT_EQ(t.job(1).id, 8);
+}
+
+TEST(JobTrace, BusyHorizonCoversLongestJob)
+{
+    const JobTrace t = makeTrace();
+    EXPECT_EQ(t.busyHorizon(), 900 + 3600);
+}
+
+TEST(JobTrace, TotalsAndMeanDemand)
+{
+    const JobTrace t = makeTrace();
+    const double total = 100.0 * 1 + 3600.0 * 2 + 50.0 * 4;
+    EXPECT_DOUBLE_EQ(t.totalCoreSeconds(), total);
+    EXPECT_DOUBLE_EQ(t.meanDemand(), total / 900.0);
+}
+
+TEST(JobTrace, EmptyTraceDefaults)
+{
+    const JobTrace t("empty", {});
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.lastArrival(), 0);
+    EXPECT_EQ(t.busyHorizon(), 0);
+    EXPECT_DOUBLE_EQ(t.meanDemand(), 0.0);
+}
+
+TEST(JobTrace, FilterByLengthAndCpus)
+{
+    const JobTrace t = makeTrace();
+    const JobTrace by_len = t.filtered(100, 1000, 0);
+    ASSERT_EQ(by_len.jobCount(), 1u);
+    EXPECT_EQ(by_len.job(0).id, 2);
+
+    const JobTrace by_cpu = t.filtered(0, 100000, 2);
+    ASSERT_EQ(by_cpu.jobCount(), 2u);
+    EXPECT_EQ(by_cpu.job(1).id, 2);
+
+    const JobTrace unlimited = t.filtered(0, 100000, 0);
+    EXPECT_EQ(unlimited.jobCount(), 3u);
+}
+
+TEST(JobTrace, CsvRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "jobs.csv";
+    makeTrace().toCsv(path);
+    const JobTrace back = JobTrace::fromCsv(path, "t");
+    ASSERT_EQ(back.jobCount(), 3u);
+    EXPECT_EQ(back.job(0).id, 1);
+    EXPECT_EQ(back.job(0).length, 3600);
+    EXPECT_EQ(back.job(2).cpus, 4);
+    std::remove(path.c_str());
+}
+
+TEST(JobTraceDeath, InvalidJobsRejected)
+{
+    EXPECT_EXIT(JobTrace("x", {{1, -5, 10, 1}}),
+                ::testing::ExitedWithCode(1), "negative submit");
+    EXPECT_EXIT(JobTrace("x", {{1, 0, 0, 1}}),
+                ::testing::ExitedWithCode(1), "non-positive length");
+    EXPECT_EXIT(JobTrace("x", {{1, 0, 10, 0}}),
+                ::testing::ExitedWithCode(1),
+                "non-positive cpu demand");
+}
+
+} // namespace
+} // namespace gaia

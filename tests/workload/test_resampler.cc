@@ -1,0 +1,146 @@
+/** @file Tests for the §6.1 trace-resampling pipeline. */
+
+#include "workload/resampler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace gaia {
+namespace {
+
+JobTrace
+smallTrace()
+{
+    return JobTrace("orig", {
+                                {1, 0, 3600, 1},
+                                {2, 1000, 7200, 2},
+                                {3, 5000, 600, 4},
+                            });
+}
+
+TEST(Resampler, ReplicateShiftsCopies)
+{
+    const JobTrace original = smallTrace();
+    const JobTrace tripled = replicateTrace(original, 3);
+    EXPECT_EQ(tripled.jobCount(), 9u);
+    // Ids are unique and renumbered.
+    for (std::size_t i = 0; i < tripled.jobCount(); ++i)
+        EXPECT_EQ(tripled.job(i).id, static_cast<JobId>(i));
+    // Copy 2 starts after copy 1's busy horizon.
+    const Seconds stride = original.busyHorizon() + kSecondsPerHour;
+    EXPECT_EQ(tripled.job(3).submit, stride);
+    EXPECT_EQ(tripled.job(6).submit, 2 * stride);
+    // Per-copy structure is preserved.
+    EXPECT_EQ(tripled.job(4).length, 7200);
+    EXPECT_EQ(tripled.job(4).cpus, 2);
+}
+
+TEST(Resampler, ReplicateOnceIsIdentityShape)
+{
+    const JobTrace once = replicateTrace(smallTrace(), 1);
+    EXPECT_EQ(once.jobCount(), 3u);
+    EXPECT_EQ(once.job(0).submit, 0);
+}
+
+TEST(Resampler, ReplicateEmptyTrace)
+{
+    const JobTrace empty("e", {});
+    EXPECT_TRUE(replicateTrace(empty, 5).empty());
+}
+
+TEST(Resampler, SampleDrawsFromSourceDistribution)
+{
+    const JobTrace source = smallTrace();
+    const JobTrace sampled =
+        sampleTrace(source, 3000, kSecondsPerWeek, 3);
+    EXPECT_EQ(sampled.jobCount(), 3000u);
+    for (const Job &j : sampled.jobs()) {
+        // Every sampled (length, cpus) pair exists in the source.
+        const bool known = (j.length == 3600 && j.cpus == 1) ||
+                           (j.length == 7200 && j.cpus == 2) ||
+                           (j.length == 600 && j.cpus == 4);
+        EXPECT_TRUE(known) << j.length << "/" << j.cpus;
+        EXPECT_GE(j.submit, 0);
+        EXPECT_LT(j.submit, kSecondsPerWeek);
+    }
+    // With-replacement sampling is roughly uniform over jobs.
+    std::size_t long_jobs = 0;
+    for (const Job &j : sampled.jobs())
+        long_jobs += j.length == 7200;
+    EXPECT_NEAR(static_cast<double>(long_jobs) / 3000.0, 1.0 / 3.0,
+                0.04);
+}
+
+TEST(Resampler, SampleIsDeterministic)
+{
+    const JobTrace source = smallTrace();
+    const JobTrace a = sampleTrace(source, 50, kSecondsPerDay, 9);
+    const JobTrace b = sampleTrace(source, 50, kSecondsPerDay, 9);
+    for (std::size_t i = 0; i < 50; ++i) {
+        EXPECT_EQ(a.job(i).submit, b.job(i).submit);
+        EXPECT_EQ(a.job(i).length, b.job(i).length);
+    }
+}
+
+TEST(Resampler, NormalizeDemandScalesAndClamps)
+{
+    const JobTrace scaled = normalizeDemand(smallTrace(), 24.0);
+    EXPECT_EQ(scaled.job(0).cpus, 24);
+    EXPECT_EQ(scaled.job(1).cpus, 48);
+    const JobTrace shrunk = normalizeDemand(smallTrace(), 0.1);
+    for (const Job &j : shrunk.jobs())
+        EXPECT_GE(j.cpus, 1);
+}
+
+TEST(Resampler, BuildFromTraceFullPipeline)
+{
+    // A month-long source extended to a year-long 5k-job trace.
+    std::vector<Job> jobs;
+    for (int i = 0; i < 200; ++i) {
+        jobs.push_back({i, i * (30 * kSecondsPerDay / 200),
+                        1800 + (i % 40) * 1800, 1 + i % 3});
+    }
+    const JobTrace month("month", std::move(jobs));
+    const JobTrace year =
+        buildFromTrace(month, 5000, kSecondsPerYear, 7);
+    EXPECT_EQ(year.jobCount(), 5000u);
+    EXPECT_GT(year.lastArrival(), 300 * kSecondsPerDay);
+    for (const Job &j : year.jobs()) {
+        EXPECT_GE(j.length, 5 * kSecondsPerMinute);
+        EXPECT_LE(j.length, 3 * kSecondsPerDay);
+    }
+}
+
+TEST(Resampler, BuildFromTraceAppliesFilters)
+{
+    // Source containing jobs the paper's filters must drop.
+    const JobTrace source(
+        "s", {
+                 {1, 0, 60, 1},                      // < 5 min
+                 {2, 0, kSecondsPerHour, 1},         // kept
+                 {3, 0, 4 * kSecondsPerDay, 1},      // > 3 days
+             });
+    const JobTrace out =
+        buildFromTrace(source, 500, kSecondsPerWeek, 5);
+    for (const Job &j : out.jobs())
+        EXPECT_EQ(j.length, kSecondsPerHour);
+}
+
+TEST(ResamplerDeath, InvalidInputs)
+{
+    const JobTrace source = smallTrace();
+    const JobTrace empty("e", {});
+    EXPECT_DEATH(replicateTrace(source, 0), "must be >= 1");
+    EXPECT_EXIT(sampleTrace(empty, 10, 100, 1),
+                ::testing::ExitedWithCode(1), "empty trace");
+    EXPECT_DEATH(normalizeDemand(source, 0.0), "must be positive");
+    EXPECT_EXIT(buildFromTrace(
+                    JobTrace("s", {{1, 0, 10, 1}}), 10,
+                    kSecondsPerDay, 1),
+                ::testing::ExitedWithCode(1),
+                "no jobs inside the length filters");
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,88 @@
+/** @file Tests for workload trace statistics. */
+
+#include "workload/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace gaia {
+namespace {
+
+TEST(DemandSeries, HandComputedExample)
+{
+    // Job A: 2 cores over [0, 100); job B: 1 core over [50, 150).
+    const JobTrace t("t", {{1, 0, 100, 2}, {2, 50, 100, 1}});
+    const auto series = demandSeries(t, 50);
+    ASSERT_EQ(series.size(), 3u);
+    EXPECT_DOUBLE_EQ(series[0], 2.0); // [0,50): only A
+    EXPECT_DOUBLE_EQ(series[1], 3.0); // [50,100): A + B
+    EXPECT_DOUBLE_EQ(series[2], 1.0); // [100,150): only B
+}
+
+TEST(DemandSeries, PartialBucketAveraging)
+{
+    // 1 core over [0, 25) sampled at 50-second buckets -> 0.5 avg.
+    const JobTrace t("t", {{1, 0, 25, 1}});
+    const auto series = demandSeries(t, 50);
+    ASSERT_EQ(series.size(), 1u);
+    EXPECT_DOUBLE_EQ(series[0], 0.5);
+}
+
+TEST(DemandSeries, EmptyTrace)
+{
+    const JobTrace t("t", {});
+    EXPECT_TRUE(demandSeries(t, 100).empty());
+    const DemandStats s = demandStats(t);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+    EXPECT_DOUBLE_EQ(s.peak, 0.0);
+}
+
+TEST(DemandStats, ConstantLoadHasZeroCov)
+{
+    // Back-to-back unit jobs: perfectly flat demand.
+    std::vector<Job> jobs;
+    for (int i = 0; i < 10; ++i)
+        jobs.push_back({i, i * 100, 100, 1});
+    const JobTrace t("t", std::move(jobs));
+    const DemandStats s = demandStats(t, 100);
+    EXPECT_DOUBLE_EQ(s.mean, 1.0);
+    EXPECT_DOUBLE_EQ(s.cov, 0.0);
+    EXPECT_DOUBLE_EQ(s.peak, 1.0);
+}
+
+TEST(DemandStats, BurstRaisesCovAndPeak)
+{
+    const JobTrace t("t", {{1, 0, 100, 10}, {2, 900, 100, 1}});
+    const DemandStats s = demandStats(t, 100);
+    EXPECT_GT(s.peak, 9.0);
+    EXPECT_GT(s.cov, 1.0);
+}
+
+TEST(TraceStats, LengthAndCpuExtraction)
+{
+    const JobTrace t("t", {{1, 0, 7200, 3}, {2, 10, 3600, 1}});
+    const auto lengths = lengthsHours(t);
+    const auto cpus = cpuDemands(t);
+    ASSERT_EQ(lengths.size(), 2u);
+    EXPECT_DOUBLE_EQ(lengths[0], 2.0);
+    EXPECT_DOUBLE_EQ(cpus[0], 3.0);
+}
+
+TEST(TraceStats, ComputeShareByLength)
+{
+    // Short job: 1 core-hour; long job: 8 core-hours.
+    const JobTrace t("t", {{1, 0, 3600, 1}, {2, 0, 4 * 3600, 2}});
+    EXPECT_DOUBLE_EQ(computeShareByLength(t, 0, 2 * 3600), 1.0 / 9.0);
+    EXPECT_DOUBLE_EQ(
+        computeShareByLength(t, 2 * 3600, 100 * 3600), 8.0 / 9.0);
+    const JobTrace empty("e", {});
+    EXPECT_DOUBLE_EQ(computeShareByLength(empty, 0, 100), 0.0);
+}
+
+TEST(DemandSeriesDeath, InvalidStep)
+{
+    const JobTrace t("t", {{1, 0, 10, 1}});
+    EXPECT_DEATH(demandSeries(t, 0), "non-positive demand step");
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,138 @@
+/** @file Distribution-stability properties of the generators. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "workload/generators.h"
+#include "workload/trace_stats.h"
+
+namespace gaia {
+namespace {
+
+JobTrace
+sample(WorkloadSource source, std::uint64_t seed,
+       std::size_t count = 8000)
+{
+    TraceBuildOptions options;
+    options.job_count = count;
+    options.span = kSecondsPerYear / 10;
+    options.seed = seed;
+    return buildTrace(source, options);
+}
+
+/** Max CDF distance between two samples at fixed probe points. */
+double
+cdfDistance(const std::vector<double> &a,
+            const std::vector<double> &b,
+            const std::vector<double> &probes)
+{
+    const auto ca = empiricalCdf(a, probes);
+    const auto cb = empiricalCdf(b, probes);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < probes.size(); ++i)
+        worst = std::max(worst,
+                         std::abs(ca[i].second - cb[i].second));
+    return worst;
+}
+
+class SourceSweep
+    : public ::testing::TestWithParam<WorkloadSource>
+{
+};
+
+TEST_P(SourceSweep, LengthDistributionIsSeedStable)
+{
+    const JobTrace a = sample(GetParam(), 1);
+    const JobTrace b = sample(GetParam(), 2);
+    const std::vector<double> probes = {0.1, 0.25, 0.5, 1, 2,
+                                        4,   8,    16, 24, 48};
+    EXPECT_LT(cdfDistance(lengthsHours(a), lengthsHours(b),
+                          probes),
+              0.03);
+}
+
+TEST_P(SourceSweep, CpuDistributionIsSeedStable)
+{
+    const JobTrace a = sample(GetParam(), 3);
+    const JobTrace b = sample(GetParam(), 4);
+    const std::vector<double> probes = {1, 2, 4, 8, 16, 32, 64};
+    EXPECT_LT(cdfDistance(cpuDemands(a), cpuDemands(b), probes),
+              0.03);
+}
+
+TEST_P(SourceSweep, DemandCovIsSeedStable)
+{
+    const double a = demandStats(sample(GetParam(), 5)).cov;
+    const double b = demandStats(sample(GetParam(), 6)).cov;
+    EXPECT_LT(std::abs(a - b), 0.25 * std::max(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sources, SourceSweep,
+    ::testing::Values(WorkloadSource::AlibabaPai,
+                      WorkloadSource::AzureVm,
+                      WorkloadSource::MustangHpc),
+    [](const ::testing::TestParamInfo<WorkloadSource> &info) {
+        std::string n = workloadName(info.param);
+        for (char &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(ArrivalPatterns, MustangWeekendsAreQuieter)
+{
+    // The Mustang arrival pattern models a 35% weekend slowdown;
+    // arrival counts by day-of-week must reflect it.
+    const JobTrace trace = sample(WorkloadSource::MustangHpc, 9,
+                                  30000);
+    double weekday = 0.0, weekend = 0.0;
+    for (const Job &j : trace.jobs()) {
+        ((dayOf(j.submit) % 7) >= 5 ? weekend : weekday) += 1.0;
+    }
+    const double weekday_rate = weekday / 5.0;
+    const double weekend_rate = weekend / 2.0;
+    EXPECT_LT(weekend_rate, weekday_rate * 0.9);
+}
+
+TEST(ArrivalPatterns, WorkingHoursPeakIsVisible)
+{
+    const JobTrace trace = sample(WorkloadSource::AlibabaPai, 11,
+                                  30000);
+    double afternoon = 0.0, predawn = 0.0;
+    for (const Job &j : trace.jobs()) {
+        const int hod = hourOfDay(j.submit);
+        if (hod >= 13 && hod < 17)
+            afternoon += 1.0;
+        else if (hod >= 1 && hod < 5)
+            predawn += 1.0;
+    }
+    EXPECT_GT(afternoon, predawn * 1.2);
+}
+
+TEST(ArrivalPatterns, AzureIsSmootherThanMustang)
+{
+    // Hour-to-hour arrival-count variability ordering mirrors the
+    // demand CoV ordering the paper documents.
+    const auto hourly_cov = [](const JobTrace &trace) {
+        std::vector<double> counts(
+            static_cast<std::size_t>(trace.lastArrival() /
+                                     kSecondsPerHour) +
+                1,
+            0.0);
+        for (const Job &j : trace.jobs())
+            counts[static_cast<std::size_t>(j.submit /
+                                            kSecondsPerHour)] += 1;
+        RunningStats s;
+        for (double c : counts)
+            s.add(c);
+        return s.cov();
+    };
+    EXPECT_LT(hourly_cov(sample(WorkloadSource::AzureVm, 13,
+                                20000)),
+              hourly_cov(sample(WorkloadSource::MustangHpc, 13,
+                                20000)));
+}
+
+} // namespace
+} // namespace gaia
