@@ -10,16 +10,36 @@
 #ifndef GAIA_BENCH_BENCH_COMMON_H
 #define GAIA_BENCH_BENCH_COMMON_H
 
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis/parallel.h"
 #include "common/csv.h"
 #include "common/strings.h"
 #include "common/time.h"
 
 namespace gaia::bench {
+
+/**
+ * Parse the shared bench flags: `--threads N` caps parallelFor's
+ * worker count (overriding GAIA_THREADS). Unknown arguments are
+ * ignored so individual benches can add their own.
+ */
+inline void
+parseBenchArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+            const long n = std::strtol(argv[++i], nullptr, 10);
+            if (n > 0)
+                setParallelThreads(static_cast<unsigned>(n));
+        }
+    }
+}
 
 /** Directory for CSV mirrors (override with GAIA_RESULTS_DIR). */
 inline std::string

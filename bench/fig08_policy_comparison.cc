@@ -13,37 +13,42 @@
 
 #include "bench_common.h"
 
-#include "analysis/harness.h"
 #include "analysis/metrics.h"
+#include "analysis/sweep.h"
 #include "common/table.h"
-#include "trace/region_model.h"
-#include "workload/generators.h"
 
 using namespace gaia;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv);
     bench::banner("Figure 8",
                   "normalized carbon and waiting across policies "
                   "(week-long Alibaba-PAI, SA-AU)");
 
-    const JobTrace trace = makeWeekTrace(1);
-    const CarbonTrace carbon = makeRegionTrace(
-        Region::SouthAustralia, bench::weekSlots(), 1);
-    const CarbonInfoService cis(carbon);
-    const QueueConfig queues = calibratedQueues(trace);
+    ScenarioSpec base;
+    base.workload = WorkloadSpec::week(1);
+    base.carbon = CarbonSpec::forRegion(Region::SouthAustralia,
+                                        bench::weekSlots(), 1);
 
     const std::vector<std::string> policies = {
         "NoWait",      "Lowest-Slot", "Lowest-Window",
         "Carbon-Time", "Ecovisor",    "Wait-Awhile"};
 
-    std::vector<MetricsRow> rows;
-    std::vector<SimulationResult> results;
+    SweepEngine sweep;
     for (const std::string &name : policies) {
-        results.push_back(runPolicy(name, trace, queues, cis));
-        rows.push_back(metricsOf(name, results.back()));
+        ScenarioSpec spec = base;
+        spec.policy = name;
+        spec.label = name;
+        sweep.add(std::move(spec));
     }
+    sweep.run();
+
+    std::vector<MetricsRow> rows;
+    for (std::size_t i = 0; i < policies.size(); ++i)
+        rows.push_back(
+            metricsOf(policies[i], sweep.result(i).value()));
     const auto normalized = normalizedToMax(rows);
 
     TextTable table("Normalized metrics (to the max per metric)",
@@ -78,6 +83,7 @@ main()
                                 rows[5].wait_hours -
                             1.0)
               << " (paper: -50%); carbon vs Lowest-Window: "
-              << fmtPercent(ct / lw - 1.0) << " (paper: +6%)\n";
+              << fmtPercent(ct / lw - 1.0) << " (paper: +6%)\n\n";
+    sweep.printSummary(std::cout);
     return 0;
 }

@@ -14,12 +14,10 @@
 
 #include "bench_common.h"
 
-#include "analysis/harness.h"
-#include "analysis/parallel.h"
-#include "analysis/savings.h"
+#include <array>
+
+#include "analysis/sweep.h"
 #include "common/table.h"
-#include "trace/region_model.h"
-#include "workload/generators.h"
 
 using namespace gaia;
 
@@ -31,61 +29,62 @@ struct Point
     Seconds w_long;
 };
 
-void
-sweep(const std::string &title, const std::string &csv_name,
-      const JobTrace &trace, const CarbonInfoService &cis,
-      const std::vector<Point> &points, bool label_short)
+const std::vector<std::string> kPolicies = {"Lowest-Window",
+                                            "Carbon-Time"};
+
+/** Cell indices for one point: one per swept policy. */
+using PointCells = std::array<std::size_t, 2>;
+
+std::vector<PointCells>
+addPoints(SweepEngine &sweep, const ScenarioSpec &base,
+          const std::vector<Point> &points)
 {
-    const std::vector<std::string> policies = {"Lowest-Window",
-                                               "Carbon-Time"};
-    struct Cell
-    {
-        double ratio[2];
-        double saved[2];
-        double wait[2];
-    };
-    std::vector<Cell> cells(points.size());
+    std::vector<PointCells> cells;
+    for (const Point &point : points) {
+        PointCells row{};
+        for (std::size_t p = 0; p < kPolicies.size(); ++p) {
+            ScenarioSpec spec = base;
+            spec.policy = kPolicies[p];
+            spec.short_wait = point.w_short;
+            spec.long_wait = point.w_long;
+            spec.label = kPolicies[p] + " w=" +
+                         fmt(toHours(point.w_short), 0) + "x" +
+                         fmt(toHours(point.w_long), 0);
+            row[p] = sweep.add(std::move(spec));
+        }
+        cells.push_back(row);
+    }
+    return cells;
+}
 
-    // NoWait is W-independent; compute once.
-    const QueueConfig base_queues = calibratedQueues(trace);
-    const SimulationResult nowait =
-        runPolicy("NoWait", trace, base_queues, cis);
-
-    parallelFor(points.size() * policies.size(),
-                [&](std::size_t k) {
-                    const std::size_t i = k / policies.size();
-                    const std::size_t p = k % policies.size();
-                    const QueueConfig queues = calibratedQueues(
-                        trace, points[i].w_short,
-                        points[i].w_long);
-                    const SimulationResult r = runPolicy(
-                        policies[p], trace, queues, cis);
-                    const double saved =
-                        nowait.carbon_kg - r.carbon_kg;
-                    const double wait = r.meanWaitingHours();
-                    cells[i].saved[p] = saved;
-                    cells[i].wait[p] = wait;
-                    cells[i].ratio[p] =
-                        wait > 0.0 ? saved / wait : 0.0;
-                });
-
+void
+report(const std::string &title, const std::string &csv_name,
+       const SweepEngine &sweep, const SimulationResult &nowait,
+       const std::vector<Point> &points,
+       const std::vector<PointCells> &cells, bool label_short)
+{
     TextTable table(title, {"W (h)", "LW kg/wait-h", "CT kg/wait-h",
                             "LW saved kg", "CT saved kg"});
     auto csv = bench::openCsv(
         csv_name, {"w_hours", "lw_ratio", "ct_ratio", "lw_saved_kg",
                    "ct_saved_kg", "lw_wait_h", "ct_wait_h"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+        double ratio[2], saved[2], wait[2];
+        for (std::size_t p = 0; p < kPolicies.size(); ++p) {
+            const SimulationResult &r =
+                sweep.result(cells[i][p]).value();
+            saved[p] = nowait.carbon_kg - r.carbon_kg;
+            wait[p] = r.meanWaitingHours();
+            ratio[p] = wait[p] > 0.0 ? saved[p] / wait[p] : 0.0;
+        }
         const Seconds w = label_short ? points[i].w_short
                                       : points[i].w_long;
         table.addRow(fmt(toHours(w), 0),
-                     {cells[i].ratio[0], cells[i].ratio[1],
-                      cells[i].saved[0], cells[i].saved[1]});
-        csv.writeRow({fmt(toHours(w), 1), fmt(cells[i].ratio[0], 4),
-                      fmt(cells[i].ratio[1], 4),
-                      fmt(cells[i].saved[0], 4),
-                      fmt(cells[i].saved[1], 4),
-                      fmt(cells[i].wait[0], 4),
-                      fmt(cells[i].wait[1], 4)});
+                     {ratio[0], ratio[1], saved[0], saved[1]});
+        csv.writeRow({fmt(toHours(w), 1), fmt(ratio[0], 4),
+                      fmt(ratio[1], 4), fmt(saved[0], 4),
+                      fmt(saved[1], 4), fmt(wait[0], 4),
+                      fmt(wait[1], 4)});
     }
     table.print(std::cout);
 }
@@ -93,37 +92,52 @@ sweep(const std::string &title, const std::string &csv_name,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv);
     bench::banner("Figure 14",
                   "saved carbon per waiting hour vs waiting-time "
                   "limits (year-long Alibaba-PAI, SA-AU)");
 
-    const JobTrace trace =
-        makeYearTrace(WorkloadSource::AlibabaPai, 1);
-    const CarbonTrace carbon = makeRegionTrace(
-        Region::SouthAustralia, bench::yearSlots(), 1);
-    const CarbonInfoService cis(carbon);
+    ScenarioSpec base;
+    base.workload = WorkloadSpec::year(WorkloadSource::AlibabaPai, 1);
+    base.carbon = CarbonSpec::forRegion(Region::SouthAustralia,
+                                        bench::yearSlots(), 1);
+
+    SweepEngine sweep;
+    // NoWait is W-independent; one cell at the default limits.
+    ScenarioSpec nowait_spec = base;
+    nowait_spec.policy = "NoWait";
+    nowait_spec.label = "NoWait baseline";
+    const std::size_t nowait_cell = sweep.add(nowait_spec);
 
     std::vector<Point> a;
     for (Seconds w : {hours(1), hours(3), hours(6), hours(12),
                       hours(18), hours(24)})
         a.push_back({w, hours(24)});
-    sweep("(a) W_short sweep, W_long = 24 h",
-          "fig14a_wshort_sweep", trace, cis, a,
-          /*label_short=*/true);
+    const auto a_cells = addPoints(sweep, base, a);
 
     std::vector<Point> b;
     for (Seconds w : {hours(6), hours(12), hours(24), hours(36),
                       hours(48), hours(72), hours(84)})
         b.push_back({hours(6), w});
-    sweep("(b) W_long sweep, W_short = 6 h",
-          "fig14b_wlong_sweep", trace, cis, b,
-          /*label_short=*/false);
+    const auto b_cells = addPoints(sweep, base, b);
+
+    sweep.run();
+    const SimulationResult &nowait =
+        sweep.result(nowait_cell).value();
+
+    report("(a) W_short sweep, W_long = 24 h",
+           "fig14a_wshort_sweep", sweep, nowait, a, a_cells,
+           /*label_short=*/true);
+    report("(b) W_long sweep, W_short = 6 h",
+           "fig14b_wlong_sweep", sweep, nowait, b, b_cells,
+           /*label_short=*/false);
 
     std::cout << "\nShape targets: per-hour yield falls as W_short "
                  "grows; W_long shows a knee with diminishing "
                  "returns past ~12-24 h; Carbon-Time beats "
-                 "Lowest-Window on savings-per-wait everywhere.\n";
+                 "Lowest-Window on savings-per-wait everywhere.\n\n";
+    sweep.printSummary(std::cout);
     return 0;
 }

@@ -14,31 +14,23 @@
 
 #include "bench_common.h"
 
-#include "analysis/harness.h"
-#include "analysis/parallel.h"
+#include "analysis/sweep.h"
 #include "common/table.h"
-#include "trace/region_model.h"
-#include "workload/generators.h"
 
 using namespace gaia;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv);
     bench::banner("Figure 19",
                   "Spot-RES reserved sweep across J^max, 10%/h "
                   "evictions (Azure-VM year, SA-AU)");
 
-    const JobTrace trace = makeYearTrace(WorkloadSource::AzureVm, 1);
-    const CarbonTrace carbon = makeRegionTrace(
-        Region::SouthAustralia, bench::yearSlots(), 1);
-    const CarbonInfoService cis(carbon);
-    const QueueConfig queues = calibratedQueues(trace);
-    std::cout << "Trace mean demand: "
-              << fmt(trace.meanDemand(), 1) << " cores\n";
-
-    const SimulationResult baseline =
-        runPolicy("NoWait", trace, queues, cis);
+    ScenarioSpec base;
+    base.workload = WorkloadSpec::year(WorkloadSource::AzureVm, 1);
+    base.carbon = CarbonSpec::forRegion(Region::SouthAustralia,
+                                        bench::yearSlots(), 1);
 
     const std::vector<Seconds> bounds = {0, hours(2), hours(6),
                                          hours(12)};
@@ -46,19 +38,42 @@ main()
     for (int r = 0; r <= 160; r += 20)
         reserved.push_back(r);
 
-    std::vector<SimulationResult> results(bounds.size() *
-                                          reserved.size());
-    parallelFor(results.size(), [&](std::size_t k) {
-        const std::size_t bi = k / reserved.size();
-        const std::size_t ri = k % reserved.size();
-        ClusterConfig cluster;
-        cluster.reserved_cores = reserved[ri];
-        cluster.spot_eviction_rate = 0.10;
-        cluster.spot_max_length = bounds[bi];
-        results[k] =
-            runPolicy("Carbon-Time", trace, queues, cis, cluster,
-                      ResourceStrategy::SpotReserved);
-    });
+    SweepEngine sweep;
+    ScenarioSpec nowait_spec = base;
+    nowait_spec.policy = "NoWait";
+    nowait_spec.label = "NoWait on-demand baseline";
+    const std::size_t nowait_cell = sweep.add(nowait_spec);
+
+    std::vector<std::size_t> cells(bounds.size() * reserved.size());
+    for (std::size_t bi = 0; bi < bounds.size(); ++bi) {
+        for (std::size_t ri = 0; ri < reserved.size(); ++ri) {
+            ScenarioSpec spec = base;
+            spec.policy = "Carbon-Time";
+            spec.strategy = ResourceStrategy::SpotReserved;
+            spec.cluster.reserved_cores = reserved[ri];
+            spec.cluster.spot_eviction_rate = 0.10;
+            spec.cluster.spot_max_length = bounds[bi];
+            spec.label = "R=" + std::to_string(reserved[ri]) +
+                         " Jmax=" + fmt(toHours(bounds[bi]), 0) +
+                         "h";
+            cells[bi * reserved.size() + ri] =
+                sweep.add(std::move(spec));
+        }
+    }
+    sweep.run();
+
+    const SimulationResult &baseline =
+        sweep.result(nowait_cell).value();
+    const auto cell = [&](std::size_t k) -> const SimulationResult & {
+        return sweep.result(cells[k]).value();
+    };
+    std::cout << "Trace mean demand: "
+              << fmt(sweep.cache()
+                         .trace(base.workload)
+                         .value()
+                         ->meanDemand(),
+                     1)
+              << " cores\n";
 
     TextTable cost_table(
         "(a) Cost normalized to NoWait on-demand",
@@ -75,7 +90,7 @@ main()
         std::vector<double> cost_row, carbon_row;
         for (std::size_t bi = 0; bi < bounds.size(); ++bi) {
             const SimulationResult &r =
-                results[bi * reserved.size() + ri];
+                cell(bi * reserved.size() + ri);
             cost_row.push_back(r.totalCost() /
                                baseline.totalCost());
             carbon_row.push_back(r.carbon_kg /
@@ -99,14 +114,14 @@ main()
         std::size_t best_ri = 0;
         for (std::size_t ri = 0; ri < reserved.size(); ++ri) {
             const double c =
-                results[bi * reserved.size() + ri].totalCost();
+                cell(bi * reserved.size() + ri).totalCost();
             if (c < best) {
                 best = c;
                 best_ri = ri;
             }
         }
         const SimulationResult &r =
-            results[bi * reserved.size() + best_ri];
+            cell(bi * reserved.size() + best_ri);
         std::cout << "  Jmax=" << fmt(toHours(bounds[bi]), 0)
                   << "h: R=" << reserved[best_ri]
                   << ", carbon savings "
@@ -114,5 +129,7 @@ main()
                                           baseline.carbon_kg)
                   << "\n";
     }
+    std::cout << "\n";
+    sweep.printSummary(std::cout);
     return 0;
 }

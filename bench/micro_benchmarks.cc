@@ -135,7 +135,7 @@ BM_WorkloadGeneration(benchmark::State &state)
     for (auto _ : state) {
         options.seed++;
         benchmark::DoNotOptimize(
-            buildTrace(WorkloadSource::AlibabaPai, options));
+            buildTrace(WorkloadSource::AlibabaPai, options).value());
     }
 }
 

@@ -56,7 +56,7 @@ main()
     options.span = kSecondsPerYear;
     options.seed = 2026;
     const JobTrace trace =
-        buildTrace(WorkloadSource::AlibabaPai, options);
+        buildTrace(WorkloadSource::AlibabaPai, options).value();
     const CarbonTrace carbon = makeRegionTrace(
         Region::SouthAustralia,
         static_cast<std::size_t>(kHoursPerYear) + 24 * 8, 2026);

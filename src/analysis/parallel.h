@@ -3,6 +3,17 @@
  * Tiny fork-join helper for parameter sweeps: simulations are
  * independent, so the figure harnesses fan each configuration out
  * across hardware threads.
+ *
+ * Worker threads are exception-safe: the first exception thrown by
+ * `fn(i)` stops the dispatch of new indices, all workers are
+ * joined, and the exception is rethrown on the calling thread —
+ * instead of the std::terminate an escaping exception would
+ * otherwise trigger.
+ *
+ * The worker count resolves, in order: the explicit `threads`
+ * argument, setParallelThreads() (e.g. a bench's --threads flag),
+ * the GAIA_THREADS environment variable, and finally
+ * std::thread::hardware_concurrency().
  */
 
 #ifndef GAIA_ANALYSIS_PARALLEL_H
@@ -10,16 +21,62 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace gaia {
 
+namespace detail {
+
+/** Process-wide override; 0 means "not set". */
+inline std::atomic<unsigned> parallel_thread_override{0};
+
+} // namespace detail
+
+/**
+ * Override the default parallelFor worker count for the process
+ * (0 restores automatic selection). Takes precedence over
+ * GAIA_THREADS.
+ */
+inline void
+setParallelThreads(unsigned threads)
+{
+    detail::parallel_thread_override.store(
+        threads, std::memory_order_relaxed);
+}
+
+/**
+ * Worker count parallelFor uses when none is passed explicitly:
+ * setParallelThreads() override, then GAIA_THREADS, then hardware
+ * concurrency (minimum 1).
+ */
+inline unsigned
+defaultParallelThreads()
+{
+    const unsigned override_count =
+        detail::parallel_thread_override.load(
+            std::memory_order_relaxed);
+    if (override_count > 0)
+        return override_count;
+    if (const char *env = std::getenv("GAIA_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 2;
+}
+
 /**
  * Invoke `fn(i)` for i in [0, n) across up to `threads` workers
- * (0 = hardware concurrency). `fn` must be safe to call
+ * (0 = defaultParallelThreads()). `fn` must be safe to call
  * concurrently for distinct indices; results should be written to
- * pre-sized slots indexed by i.
+ * pre-sized slots indexed by i. If any invocation throws, no new
+ * indices are dispatched, every worker is joined, and the first
+ * exception is rethrown here.
  */
 template <typename Fn>
 void
@@ -28,9 +85,7 @@ parallelFor(std::size_t n, Fn fn, unsigned threads = 0)
     if (n == 0)
         return;
     unsigned worker_count =
-        threads > 0 ? threads : std::thread::hardware_concurrency();
-    if (worker_count == 0)
-        worker_count = 2;
+        threads > 0 ? threads : defaultParallelThreads();
     worker_count = static_cast<unsigned>(
         std::min<std::size_t>(worker_count, n));
 
@@ -41,21 +96,36 @@ parallelFor(std::size_t n, Fn fn, unsigned threads = 0)
     }
 
     std::atomic<std::size_t> next{0};
+    std::atomic<bool> stop{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
     std::vector<std::thread> workers;
     workers.reserve(worker_count);
     for (unsigned w = 0; w < worker_count; ++w) {
         workers.emplace_back([&] {
-            while (true) {
+            while (!stop.load(std::memory_order_relaxed)) {
                 const std::size_t i =
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= n)
                     return;
-                fn(i);
+                try {
+                    fn(i);
+                } catch (...) {
+                    const std::lock_guard<std::mutex> lock(
+                        error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                    stop.store(true, std::memory_order_relaxed);
+                    return;
+                }
             }
         });
     }
     for (std::thread &t : workers)
         t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 } // namespace gaia

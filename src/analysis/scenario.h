@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Declarative simulation scenarios and the content-keyed asset
+ * cache behind parameter sweeps.
+ *
+ * A ScenarioSpec names everything one simulation cell needs —
+ * workload, carbon region, queue limits, policy, resource strategy,
+ * cluster configuration, and CIS/forecast settings — as plain data.
+ * Specs are cheap to copy and vary, so a sweep is just a vector of
+ * them (see analysis/sweep.h).
+ *
+ * Expensive derived assets (job traces, carbon traces, calibrated
+ * queue configs) are built through an AssetCache keyed on the
+ * spec's content: two cells that share a workload spec share one
+ * JobTrace build, even when the sweep runs its cells in parallel.
+ * Errors are cached too, so a malformed CSV is parsed (and
+ * reported) once per sweep rather than once per cell.
+ */
+
+#ifndef GAIA_ANALYSIS_SCENARIO_H
+#define GAIA_ANALYSIS_SCENARIO_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "core/queues.h"
+#include "sim/cluster.h"
+#include "sim/results.h"
+#include "trace/carbon_trace.h"
+#include "trace/region_model.h"
+#include "workload/generators.h"
+#include "workload/job.h"
+
+namespace gaia {
+
+/** Declarative workload description (what trace to build/load). */
+struct WorkloadSpec
+{
+    enum class Kind
+    {
+        Builtin,    ///< synthesize from a WorkloadSource model
+        Motivating, ///< the Section 3 motivating workload
+        Csv,        ///< load (and optionally resample) a CSV trace
+    };
+
+    Kind kind = Kind::Builtin;
+
+    /** Builtin: distribution model to sample from. */
+    WorkloadSource source = WorkloadSource::AlibabaPai;
+    /**
+     * Builtin: synthesis options. For Csv with resample, job_count,
+     * span, and seed parameterize the §6.1 pipeline. For
+     * Motivating, only seed is read (the span lives in
+     * motivating_span).
+     */
+    TraceBuildOptions options;
+
+    /** Motivating: arrival span. */
+    Seconds motivating_span = 3 * kSecondsPerDay;
+
+    /** Csv: path to a JobTrace CSV (id, submit, length, cpus). */
+    std::string csv_path;
+    /** Csv: apply the paper's §6.1 resampling pipeline. */
+    bool resample = false;
+
+    /** The paper's year-long 100k-job trace for `source`. */
+    static WorkloadSpec year(WorkloadSource source,
+                             std::uint64_t seed = 1);
+    /** The paper's week-long 1k-job Alibaba-PAI trace. */
+    static WorkloadSpec week(std::uint64_t seed = 1);
+    /** The Section 3 motivating workload. */
+    static WorkloadSpec motivating(Seconds span = 3 * kSecondsPerDay,
+                                   std::uint64_t seed = 1);
+    /** Synthesize from `source` with explicit options. */
+    static WorkloadSpec builtin(WorkloadSource source,
+                                const TraceBuildOptions &options);
+    /** Load a CSV trace, optionally resampled via §6.1. */
+    static WorkloadSpec fromCsv(std::string path,
+                                bool resample = false);
+
+    /** Content key: equal keys produce identical traces. */
+    std::string key() const;
+
+    /** Build or load the trace this spec describes. */
+    Result<JobTrace> realize() const;
+};
+
+/** Declarative carbon-intensity source. */
+struct CarbonSpec
+{
+    enum class Kind
+    {
+        RegionModel, ///< synthesize from a calibrated region model
+        Csv,         ///< load a CarbonTrace CSV
+    };
+
+    Kind kind = Kind::RegionModel;
+
+    /** RegionModel: grid to model. */
+    Region region = Region::SouthAustralia;
+    /**
+     * RegionModel: hourly slot count; 0 derives it from the
+     * workload's busy horizon plus scheduling slack at run time
+     * (see carbonSlotsFor).
+     */
+    std::size_t slots = 0;
+    /** RegionModel: RNG seed. */
+    std::uint64_t seed = 1;
+    /** RegionModel: day-of-year of slot 0. */
+    double start_day = 0.0;
+
+    /** Csv: path to a CarbonTrace CSV (hour, carbon_intensity). */
+    std::string csv_path;
+    /** Csv: region label for reporting; defaults to the path. */
+    std::string csv_label;
+
+    /** Synthesize `region` (slots = 0 derives from the workload). */
+    static CarbonSpec forRegion(Region region, std::size_t slots = 0,
+                                std::uint64_t seed = 1,
+                                double start_day = 0.0);
+    /** Load a CSV dump. */
+    static CarbonSpec fromCsv(std::string path,
+                              std::string label = "");
+
+    /** Content key for `resolved_slots` hourly slots. */
+    std::string key(std::size_t resolved_slots) const;
+
+    /** Build or load the trace with `resolved_slots` slots. */
+    Result<CarbonTrace> realize(std::size_t resolved_slots) const;
+};
+
+/** CIS forecast configuration (cheap; built per cell). */
+struct CisSpec
+{
+    /** "oracle" (trace truth), "persistence", or "profile". */
+    std::string forecaster = "oracle";
+    /** Multiplicative forecast noise sigma (oracle only). */
+    double noise = 0.0;
+    /** Noise stream seed. */
+    std::uint64_t seed = 0;
+};
+
+/** Everything one simulation cell needs, as plain data. */
+struct ScenarioSpec
+{
+    /** Cell label for sweep reporting (free-form). */
+    std::string label;
+
+    WorkloadSpec workload;
+    CarbonSpec carbon;
+
+    /** Scheduling policy name (see tryMakePolicy). */
+    std::string policy = "Carbon-Time";
+    ResourceStrategy strategy = ResourceStrategy::OnDemandOnly;
+    ClusterConfig cluster;
+
+    /** Queue waiting limits (the artifact's "-w SxL"). */
+    Seconds short_wait = 6 * kSecondsPerHour;
+    Seconds long_wait = 24 * kSecondsPerHour;
+
+    CisSpec cis;
+};
+
+/**
+ * Hourly slots covering `trace`'s busy horizon plus waiting and
+ * margin slack — the default carbon-trace length when a CarbonSpec
+ * does not pin one.
+ */
+std::size_t carbonSlotsFor(const JobTrace &trace, Seconds long_wait);
+
+/**
+ * Content-keyed, thread-safe cache of expensive scenario assets.
+ * Each distinct key is built exactly once (builds are serialized);
+ * errors are cached like values so a bad input reports cheaply.
+ */
+class AssetCache
+{
+  public:
+    AssetCache() = default;
+    AssetCache(const AssetCache &) = delete;
+    AssetCache &operator=(const AssetCache &) = delete;
+
+    /** The JobTrace for `spec`, building it on first use. */
+    Result<std::shared_ptr<const JobTrace>>
+    trace(const WorkloadSpec &spec);
+
+    /** The CarbonTrace for `spec` at `resolved_slots` slots. */
+    Result<std::shared_ptr<const CarbonTrace>>
+    carbon(const CarbonSpec &spec, std::size_t resolved_slots);
+
+    /**
+     * The calibrated QueueConfig for `spec`'s trace under the given
+     * waiting limits (builds the trace too if needed).
+     */
+    Result<std::shared_ptr<const QueueConfig>>
+    queues(const WorkloadSpec &spec, Seconds short_wait,
+           Seconds long_wait);
+
+    /** Lookups served from the cache. */
+    std::size_t hits() const;
+    /** Lookups that built (or failed to build) a new asset. */
+    std::size_t misses() const;
+
+  private:
+    template <typename T, typename Builder>
+    Result<std::shared_ptr<const T>>
+    lookup(std::map<std::string, Result<std::shared_ptr<const T>>>
+               &entries,
+           const std::string &key, Builder &&builder);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Result<std::shared_ptr<const JobTrace>>>
+        traces_;
+    std::map<std::string, Result<std::shared_ptr<const CarbonTrace>>>
+        carbons_;
+    std::map<std::string, Result<std::shared_ptr<const QueueConfig>>>
+        queues_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+/**
+ * Run one scenario end to end: validate the setup, realize the
+ * assets through `cache`, build the policy and CIS, and simulate.
+ * All input problems surface as an error Status, never as an exit.
+ */
+Result<SimulationResult> runScenario(const ScenarioSpec &spec,
+                                     AssetCache &cache);
+
+} // namespace gaia
+
+#endif // GAIA_ANALYSIS_SCENARIO_H

@@ -1,0 +1,86 @@
+#include "analysis/sweep.h"
+
+#include <ostream>
+
+#include "analysis/parallel.h"
+#include "common/logging.h"
+
+namespace gaia {
+
+std::size_t
+SweepEngine::add(ScenarioSpec spec)
+{
+    specs_.push_back(std::move(spec));
+    return specs_.size() - 1;
+}
+
+const ScenarioSpec &
+SweepEngine::spec(std::size_t index) const
+{
+    GAIA_ASSERT(index < specs_.size(), "sweep cell ", index,
+                " out of range (", specs_.size(), " cells)");
+    return specs_[index];
+}
+
+void
+SweepEngine::run()
+{
+    results_.assign(specs_.size(), std::nullopt);
+    parallelFor(
+        specs_.size(),
+        [&](std::size_t i) {
+            results_[i] = runScenario(specs_[i], cache_);
+        },
+        threads_);
+}
+
+bool
+SweepEngine::ran(std::size_t index) const
+{
+    return index < results_.size() && results_[index].has_value();
+}
+
+const Result<SimulationResult> &
+SweepEngine::result(std::size_t index) const
+{
+    GAIA_ASSERT(index < specs_.size(), "sweep cell ", index,
+                " out of range (", specs_.size(), " cells)");
+    GAIA_ASSERT(ran(index), "sweep cell ", index,
+                " read before run()");
+    return *results_[index];
+}
+
+std::size_t
+SweepEngine::failureCount() const
+{
+    std::size_t failures = 0;
+    for (const std::optional<Result<SimulationResult>> &cell :
+         results_) {
+        if (cell.has_value() && !cell->isOk())
+            ++failures;
+    }
+    return failures;
+}
+
+void
+SweepEngine::printSummary(std::ostream &out) const
+{
+    const std::size_t failures = failureCount();
+    out << "sweep: " << specs_.size() << " cells, "
+        << specs_.size() - failures << " ok, " << failures
+        << " failed; asset cache: " << cache_.misses()
+        << " built, " << cache_.hits() << " reused\n";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+        const std::optional<Result<SimulationResult>> &cell =
+            results_[i];
+        if (!cell.has_value() || cell->isOk())
+            continue;
+        const std::string &label = specs_[i].label;
+        out << "  cell " << i;
+        if (!label.empty())
+            out << " [" << label << "]";
+        out << ": " << cell->status().toString() << "\n";
+    }
+}
+
+} // namespace gaia

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SweepEngine: run a batch of ScenarioSpecs in parallel with shared
+ * asset caching and per-cell error isolation.
+ *
+ * The figure harnesses all follow the same shape — build specs in
+ * nested loops, fan them over parallelFor, collect results by index.
+ * SweepEngine owns that shape: add() specs (the returned index is
+ * stable), run() once, then read result(i). A cell whose inputs are
+ * bad records its error Status instead of killing the sweep; the
+ * other cells still complete, and printSummary() reports both the
+ * failures and the asset-cache hit rate (each distinct trace is
+ * built exactly once per sweep).
+ */
+
+#ifndef GAIA_ANALYSIS_SWEEP_H
+#define GAIA_ANALYSIS_SWEEP_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "analysis/scenario.h"
+#include "common/status.h"
+#include "sim/results.h"
+
+namespace gaia {
+
+/** Parallel scenario runner with shared asset cache. */
+class SweepEngine
+{
+  public:
+    /** `threads` = 0 uses defaultParallelThreads(). */
+    explicit SweepEngine(unsigned threads = 0) : threads_(threads) {}
+
+    SweepEngine(const SweepEngine &) = delete;
+    SweepEngine &operator=(const SweepEngine &) = delete;
+
+    /** Queue a cell; returns its stable index. */
+    std::size_t add(ScenarioSpec spec);
+
+    /** Queued cell count. */
+    std::size_t size() const { return specs_.size(); }
+
+    /** The spec queued at `index`. */
+    const ScenarioSpec &spec(std::size_t index) const;
+
+    /**
+     * Run every queued cell (cells added since the last run() rerun
+     * from scratch; assets stay cached). Safe to call again after
+     * adding more cells.
+     */
+    void run();
+
+    /** Whether run() has completed for cell `index`. */
+    bool ran(std::size_t index) const;
+
+    /** Cell outcome; panics unless run() completed for `index`. */
+    const Result<SimulationResult> &result(std::size_t index) const;
+
+    /** Cells whose Result is an error (0 before run()). */
+    std::size_t failureCount() const;
+
+    /** The shared cache (e.g. to pre-warm or inspect counters). */
+    AssetCache &cache() { return cache_; }
+    const AssetCache &cache() const { return cache_; }
+
+    /**
+     * One-paragraph sweep report: cell/failure counts, cache
+     * hits/misses, and each failed cell's label and error message.
+     */
+    void printSummary(std::ostream &out) const;
+
+  private:
+    unsigned threads_ = 0;
+    std::vector<ScenarioSpec> specs_;
+    /** nullopt until run() fills the slot (Result has no default). */
+    std::vector<std::optional<Result<SimulationResult>>> results_;
+    AssetCache cache_;
+};
+
+} // namespace gaia
+
+#endif // GAIA_ANALYSIS_SWEEP_H

@@ -23,6 +23,19 @@
 #include "cli/runner.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "core/policy_factory.h"
+
+namespace {
+
+/** Clean input error: one line on stderr, exit code 2. */
+int
+reportError(const gaia::Status &status)
+{
+    std::cerr << "gaia_run: " << status.message() << "\n";
+    return 2;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -31,14 +44,25 @@ main(int argc, char **argv)
 
     std::vector<std::string> args(argv + 1, argv + argc);
     CliOptions options;
-    if (!parseCliOptions(args, options)) {
+    const Result<CliAction> action = parseCliOptions(args, options);
+    if (!action.isOk())
+        return reportError(action.status());
+    if (*action == CliAction::ShowHelp) {
         std::cout << cliUsage();
+        return 0;
+    }
+    if (*action == CliAction::ListPolicies) {
+        for (const std::string &name : allPolicyNames())
+            std::cout << name << "\n";
         return 0;
     }
 
     RunArtifacts artifacts;
-    const SimulationResult result =
+    Result<SimulationResult> run =
         runFromOptions(options, &artifacts);
+    if (!run.isOk())
+        return reportError(run.status());
+    const SimulationResult result = std::move(run).value();
 
     TextTable summary("gaia_run summary",
                       {"field", "value"});

@@ -7,7 +7,7 @@
 
 namespace gaia {
 
-ResourceStrategy
+Result<ResourceStrategy>
 CliOptions::resolvedStrategy() const
 {
     const std::string key = toLower(strategy);
@@ -21,28 +21,30 @@ CliOptions::resolvedStrategy() const
         return ResourceStrategy::SpotFirst;
     if (key == "spot-res" || key == "spot-reserved")
         return ResourceStrategy::SpotReserved;
-    fatal("unknown strategy '", strategy,
-          "'; expected on-demand, hybrid, res-first, spot-first, "
-          "or spot-res");
+    return Status::notFound(
+        "unknown strategy '", strategy,
+        "'; expected on-demand, hybrid, res-first, spot-first, "
+        "or spot-res");
 }
 
-void
+Status
 parseWaitingSpec(const std::string &spec, Seconds &short_wait,
                  Seconds &long_wait)
 {
     const std::size_t sep = spec.find('x');
-    if (sep == std::string::npos) {
-        fatal("waiting spec '", spec,
-              "' must be SHORTxLONG hours, e.g. 6x24");
-    }
-    const double short_h = parseDouble(spec.substr(0, sep),
-                                       "short waiting hours");
-    const double long_h = parseDouble(spec.substr(sep + 1),
-                                      "long waiting hours");
-    if (short_h < 0.0 || long_h < 0.0)
-        fatal("waiting hours must be non-negative: ", spec);
+    GAIA_REQUIRE(sep != std::string::npos, "waiting spec '", spec,
+                 "' must be SHORTxLONG hours, e.g. 6x24");
+    GAIA_TRY_ASSIGN(const double short_h,
+                    tryParseDouble(spec.substr(0, sep),
+                                   "short waiting hours"));
+    GAIA_TRY_ASSIGN(const double long_h,
+                    tryParseDouble(spec.substr(sep + 1),
+                                   "long waiting hours"));
+    GAIA_REQUIRE(short_h >= 0.0 && long_h >= 0.0,
+                 "waiting hours must be non-negative: ", spec);
     short_wait = hours(short_h);
     long_wait = hours(long_h);
+    return Status::ok();
 }
 
 std::string
@@ -95,117 +97,149 @@ cliUsage()
            "  --seed S              RNG seed (default 1)\n"
            "  --output-dir DIR      CSV output directory "
            "(default gaia_results)\n"
+           "  --list-policies       print policy names and exit\n"
            "  -h, --help            this text\n";
     return oss.str();
 }
 
-bool
+Result<CliAction>
 parseCliOptions(const std::vector<std::string> &args,
                 CliOptions &options)
 {
-    const auto need_value = [&](std::size_t i,
-                                const std::string &flag) {
+    const auto need_value =
+        [&](std::size_t i,
+            const std::string &flag) -> Result<std::string> {
         if (i + 1 >= args.size())
-            fatal("missing value for ", flag);
+            return Status::invalidArgument("missing value for ",
+                                           flag);
         return args[i + 1];
     };
 
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         if (arg == "-h" || arg == "--help")
-            return false;
+            return CliAction::ShowHelp;
+        if (arg == "--list-policies")
+            return CliAction::ListPolicies;
         if (arg == "--workload") {
-            options.workload = toLower(need_value(i++, arg));
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            options.workload = toLower(v);
         } else if (arg == "--workload-csv") {
-            options.workload_csv = need_value(i++, arg);
+            GAIA_TRY_ASSIGN(options.workload_csv,
+                            need_value(i++, arg));
         } else if (arg == "--resample") {
             options.resample = true;
         } else if (arg == "--jobs") {
-            const std::int64_t n =
-                parseInt(need_value(i++, arg), "--jobs");
-            if (n <= 0)
-                fatal("--jobs must be positive");
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            GAIA_TRY_ASSIGN(const std::int64_t n,
+                            tryParseInt(v, "--jobs"));
+            GAIA_REQUIRE(n > 0, "--jobs must be positive");
             options.jobs = static_cast<std::size_t>(n);
         } else if (arg == "--span-days") {
-            options.span_days =
-                parseDouble(need_value(i++, arg), "--span-days");
-            if (options.span_days <= 0.0)
-                fatal("--span-days must be positive");
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            GAIA_TRY_ASSIGN(options.span_days,
+                            tryParseDouble(v, "--span-days"));
+            GAIA_REQUIRE(options.span_days > 0.0,
+                         "--span-days must be positive");
         } else if (arg == "--region") {
-            options.region = need_value(i++, arg);
+            GAIA_TRY_ASSIGN(options.region, need_value(i++, arg));
         } else if (arg == "--carbon-csv") {
-            options.carbon_csv = need_value(i++, arg);
+            GAIA_TRY_ASSIGN(options.carbon_csv,
+                            need_value(i++, arg));
         } else if (arg == "--policy") {
-            options.policy = need_value(i++, arg);
+            GAIA_TRY_ASSIGN(options.policy, need_value(i++, arg));
         } else if (arg == "--strategy") {
-            options.strategy = need_value(i++, arg);
+            GAIA_TRY_ASSIGN(options.strategy, need_value(i++, arg));
         } else if (arg == "-w" || arg == "--waiting") {
-            parseWaitingSpec(need_value(i++, arg),
-                             options.short_wait,
-                             options.long_wait);
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            GAIA_TRY(parseWaitingSpec(v, options.short_wait,
+                                      options.long_wait));
         } else if (arg == "--forecast-noise") {
-            options.forecast_noise = parseDouble(
-                need_value(i++, arg), "--forecast-noise");
-            if (options.forecast_noise < 0.0)
-                fatal("--forecast-noise must be non-negative");
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            GAIA_TRY_ASSIGN(options.forecast_noise,
+                            tryParseDouble(v, "--forecast-noise"));
+            GAIA_REQUIRE(options.forecast_noise >= 0.0,
+                         "--forecast-noise must be non-negative");
         } else if (arg == "--forecaster") {
-            options.forecaster = toLower(need_value(i++, arg));
-            if (options.forecaster != "oracle" &&
-                options.forecaster != "persistence" &&
-                options.forecaster != "profile") {
-                fatal("unknown forecaster '", options.forecaster,
-                      "'; expected oracle, persistence, or "
-                      "profile");
-            }
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            options.forecaster = toLower(v);
+            GAIA_REQUIRE(options.forecaster == "oracle" ||
+                             options.forecaster == "persistence" ||
+                             options.forecaster == "profile",
+                         "unknown forecaster '", options.forecaster,
+                         "'; expected oracle, persistence, or "
+                         "profile");
         } else if (arg == "--startup-overhead-min") {
-            options.startup_overhead_min = parseDouble(
-                need_value(i++, arg), "--startup-overhead-min");
-            if (options.startup_overhead_min < 0.0)
-                fatal("--startup-overhead-min must be "
-                      "non-negative");
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            GAIA_TRY_ASSIGN(
+                options.startup_overhead_min,
+                tryParseDouble(v, "--startup-overhead-min"));
+            GAIA_REQUIRE(options.startup_overhead_min >= 0.0,
+                         "--startup-overhead-min must be "
+                         "non-negative");
         } else if (arg == "--idle-power-fraction") {
-            options.idle_power_fraction = parseDouble(
-                need_value(i++, arg), "--idle-power-fraction");
-            if (options.idle_power_fraction < 0.0 ||
-                options.idle_power_fraction > 1.0)
-                fatal("--idle-power-fraction must be in [0,1]");
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            GAIA_TRY_ASSIGN(
+                options.idle_power_fraction,
+                tryParseDouble(v, "--idle-power-fraction"));
+            GAIA_REQUIRE(options.idle_power_fraction >= 0.0 &&
+                             options.idle_power_fraction <= 1.0,
+                         "--idle-power-fraction must be in [0,1]");
         } else if (arg == "--reserved") {
-            options.reserved = static_cast<int>(
-                parseInt(need_value(i++, arg), "--reserved"));
-            if (options.reserved < 0)
-                fatal("--reserved must be non-negative");
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            GAIA_TRY_ASSIGN(const std::int64_t n,
+                            tryParseInt(v, "--reserved"));
+            GAIA_REQUIRE(n >= 0, "--reserved must be non-negative");
+            options.reserved = static_cast<int>(n);
         } else if (arg == "--eviction-rate") {
-            options.eviction_rate = parseDouble(
-                need_value(i++, arg), "--eviction-rate");
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            GAIA_TRY_ASSIGN(options.eviction_rate,
+                            tryParseDouble(v, "--eviction-rate"));
         } else if (arg == "--spot-max-hours") {
-            options.spot_max_hours = parseDouble(
-                need_value(i++, arg), "--spot-max-hours");
-            if (options.spot_max_hours < 0.0)
-                fatal("--spot-max-hours must be non-negative");
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            GAIA_TRY_ASSIGN(options.spot_max_hours,
+                            tryParseDouble(v, "--spot-max-hours"));
+            GAIA_REQUIRE(options.spot_max_hours >= 0.0,
+                         "--spot-max-hours must be non-negative");
         } else if (arg == "--seed") {
-            options.seed = static_cast<std::uint64_t>(
-                parseInt(need_value(i++, arg), "--seed"));
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            GAIA_TRY_ASSIGN(const std::int64_t n,
+                            tryParseInt(v, "--seed"));
+            options.seed = static_cast<std::uint64_t>(n);
         } else if (arg == "--output-dir") {
-            options.output_dir = need_value(i++, arg);
+            GAIA_TRY_ASSIGN(options.output_dir,
+                            need_value(i++, arg));
         } else {
-            fatal("unknown argument '", arg, "'\n\n", cliUsage());
+            return Status::invalidArgument("unknown argument '", arg,
+                                           "'\n\n", cliUsage());
         }
     }
 
     // Cross-checks that do not require running anything.
-    options.resolvedStrategy();
-    if (options.resample && options.workload_csv.empty())
-        fatal("--resample requires --workload-csv");
+    GAIA_TRY(options.resolvedStrategy());
+    GAIA_REQUIRE(!options.resample || !options.workload_csv.empty(),
+                 "--resample requires --workload-csv");
     if (options.workload_csv.empty()) {
         const std::string w = options.workload;
-        if (w != "alibaba" && w != "azure" && w != "mustang" &&
-            w != "motivating") {
-            fatal("unknown workload '", options.workload,
-                  "'; expected alibaba, azure, mustang, or "
-                  "motivating");
-        }
+        GAIA_REQUIRE(w == "alibaba" || w == "azure" ||
+                         w == "mustang" || w == "motivating",
+                     "unknown workload '", options.workload,
+                     "'; expected alibaba, azure, mustang, or "
+                     "motivating");
     }
-    return true;
+    return CliAction::Run;
 }
 
 } // namespace gaia

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/time.h"
 #include "sim/cluster.h"
 
@@ -78,23 +79,33 @@ struct CliOptions
     /** Output directory for aggregate/details/allocation CSVs. */
     std::string output_dir = "gaia_results";
 
-    /** Resolved strategy enum. */
-    ResourceStrategy resolvedStrategy() const;
+    /** Resolved strategy enum; NotFound on an unknown name. */
+    Result<ResourceStrategy> resolvedStrategy() const;
+};
+
+/** What a successful option parse asks the driver to do. */
+enum class CliAction
+{
+    Run,          ///< run the simulation
+    ShowHelp,     ///< print usage and exit 0
+    ListPolicies, ///< print policy names and exit 0
 };
 
 /**
- * Parse argv into options. Returns false (after printing usage)
- * for --help; calls fatal() on malformed input.
+ * Parse argv into options. Malformed input (unknown flag, missing
+ * or out-of-range value) yields an error Status whose message is
+ * ready to print; --help / --list-policies short-circuit to their
+ * CliAction without validating the rest.
  */
-bool parseCliOptions(const std::vector<std::string> &args,
-                     CliOptions &options);
+Result<CliAction> parseCliOptions(const std::vector<std::string> &args,
+                                  CliOptions &options);
 
 /** Usage text for --help and error paths. */
 std::string cliUsage();
 
 /** Parse the artifact-style waiting pair "6x24" (hours). */
-void parseWaitingSpec(const std::string &spec, Seconds &short_wait,
-                      Seconds &long_wait);
+Status parseWaitingSpec(const std::string &spec, Seconds &short_wait,
+                        Seconds &long_wait);
 
 } // namespace gaia
 

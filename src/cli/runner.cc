@@ -1,71 +1,111 @@
 #include "cli/runner.h"
 
 #include <algorithm>
-#include <filesystem>
-#include <memory>
 
-#include "analysis/harness.h"
+#include <filesystem>
+
 #include "common/csv.h"
 #include "common/logging.h"
 #include "common/strings.h"
-#include "core/policy_factory.h"
-#include "sim/simulator.h"
-#include "trace/forecast.h"
 #include "trace/region_model.h"
 #include "workload/generators.h"
-#include "workload/resampler.h"
 
 namespace gaia {
 
 namespace {
 
-JobTrace
-buildWorkload(const CliOptions &options)
+Status
+fillWorkloadSpec(const CliOptions &options, ScenarioSpec &spec)
 {
+    const Seconds span = days(options.span_days);
     if (!options.workload_csv.empty()) {
-        JobTrace loaded = JobTrace::fromCsv(options.workload_csv,
-                                            options.workload_csv);
-        if (!options.resample)
-            return loaded;
-        // The paper's §6.1 construction on a user-provided trace.
-        return buildFromTrace(loaded, options.jobs,
-                              days(options.span_days),
-                              options.seed);
+        spec.workload = WorkloadSpec::fromCsv(options.workload_csv,
+                                              options.resample);
+        // Only read when resampling (§6.1 pipeline parameters).
+        spec.workload.options.job_count = options.jobs;
+        spec.workload.options.span = span;
+        spec.workload.options.seed = options.seed;
+        return Status::ok();
     }
 
-    const Seconds span = days(options.span_days);
-    if (options.workload == "motivating")
-        return makeMotivatingTrace(span, options.seed);
+    if (options.workload == "motivating") {
+        spec.workload = WorkloadSpec::motivating(span, options.seed);
+        return Status::ok();
+    }
 
     TraceBuildOptions build;
     build.job_count = options.jobs;
     build.span = span;
     build.seed = options.seed;
-    if (options.workload == "alibaba")
-        return buildTrace(WorkloadSource::AlibabaPai, build);
-    if (options.workload == "azure")
-        return buildTrace(WorkloadSource::AzureVm, build);
-    if (options.workload == "mustang")
-        return buildTrace(WorkloadSource::MustangHpc, build);
-    fatal("unknown workload '", options.workload, "'");
+    if (options.workload == "alibaba") {
+        spec.workload =
+            WorkloadSpec::builtin(WorkloadSource::AlibabaPai, build);
+    } else if (options.workload == "azure") {
+        spec.workload =
+            WorkloadSpec::builtin(WorkloadSource::AzureVm, build);
+    } else if (options.workload == "mustang") {
+        spec.workload =
+            WorkloadSpec::builtin(WorkloadSource::MustangHpc, build);
+    } else {
+        return Status::notFound(
+            "unknown workload '", options.workload,
+            "'; expected alibaba, azure, mustang, or motivating");
+    }
+    return Status::ok();
 }
 
-CarbonTrace
-buildCarbon(const CliOptions &options, const JobTrace &trace)
+Status
+fillCarbonSpec(const CliOptions &options, ScenarioSpec &spec)
 {
-    if (!options.carbon_csv.empty())
-        return CarbonTrace::fromCsv(options.carbon_csv,
-                                    options.carbon_csv);
-    // Cover the busy horizon plus scheduling slack.
-    const Seconds horizon = trace.busyHorizon() +
-                            options.long_wait + 2 * kSecondsPerDay;
-    const auto slots = static_cast<std::size_t>(
-        (horizon + kSecondsPerHour - 1) / kSecondsPerHour);
-    return makeRegionTrace(regionFromName(options.region), slots,
-                           options.seed);
+    if (!options.carbon_csv.empty()) {
+        spec.carbon = CarbonSpec::fromCsv(options.carbon_csv);
+        return Status::ok();
+    }
+    GAIA_TRY_ASSIGN(const Region region,
+                    regionFromName(options.region));
+    // slots = 0: derived from the workload's busy horizon at run
+    // time (carbonSlotsFor), matching the historical behavior.
+    spec.carbon = CarbonSpec::forRegion(region, 0, options.seed);
+    return Status::ok();
 }
 
 } // namespace
+
+Result<ScenarioSpec>
+scenarioFromOptions(const CliOptions &options)
+{
+    ScenarioSpec spec;
+    GAIA_TRY(fillWorkloadSpec(options, spec));
+    GAIA_TRY(fillCarbonSpec(options, spec));
+
+    spec.policy = options.policy;
+    spec.short_wait = options.short_wait;
+    spec.long_wait = options.long_wait;
+
+    spec.cluster.reserved_cores = options.reserved;
+    spec.cluster.spot_eviction_rate = options.eviction_rate;
+    spec.cluster.spot_max_length = hours(options.spot_max_hours);
+    spec.cluster.startup_overhead =
+        minutes(options.startup_overhead_min);
+    spec.cluster.reserved_idle_power_fraction =
+        options.idle_power_fraction;
+    spec.cluster.seed = options.seed;
+
+    GAIA_TRY_ASSIGN(spec.strategy, options.resolvedStrategy());
+    if (spec.strategy == ResourceStrategy::OnDemandOnly &&
+        options.reserved > 0) {
+        inform("reserved cores with on-demand strategy: switching "
+               "to the hybrid strategy");
+        spec.strategy = ResourceStrategy::HybridGreedy;
+    }
+
+    spec.cis.forecaster = options.forecaster;
+    spec.cis.noise = options.forecast_noise;
+    spec.cis.seed = options.seed;
+
+    spec.label = options.policy + "/" + options.workload;
+    return spec;
+}
 
 RunArtifacts
 writeRunArtifacts(const SimulationResult &result,
@@ -150,51 +190,14 @@ writeRunArtifacts(const SimulationResult &result,
     return artifacts;
 }
 
-SimulationResult
+Result<SimulationResult>
 runFromOptions(const CliOptions &options, RunArtifacts *artifacts)
 {
-    const JobTrace trace = buildWorkload(options);
-    if (trace.empty())
-        fatal("workload trace is empty");
-    const CarbonTrace carbon = buildCarbon(options, trace);
-
-    // Forecast source: ground truth (optionally noisy) or a real
-    // forecasting model.
-    std::unique_ptr<CarbonForecaster> forecaster;
-    if (options.forecaster == "persistence")
-        forecaster = std::make_unique<PersistenceForecaster>();
-    else if (options.forecaster == "profile")
-        forecaster = std::make_unique<DiurnalProfileForecaster>();
-    const CarbonInfoService cis =
-        forecaster ? CarbonInfoService(carbon, *forecaster)
-                   : CarbonInfoService(carbon,
-                                       options.forecast_noise,
-                                       options.seed);
-
-    const QueueConfig queues = calibratedQueues(
-        trace, options.short_wait, options.long_wait);
-
-    ClusterConfig cluster;
-    cluster.reserved_cores = options.reserved;
-    cluster.spot_eviction_rate = options.eviction_rate;
-    cluster.spot_max_length = hours(options.spot_max_hours);
-    cluster.startup_overhead =
-        minutes(options.startup_overhead_min);
-    cluster.reserved_idle_power_fraction =
-        options.idle_power_fraction;
-    cluster.seed = options.seed;
-
-    ResourceStrategy strategy = options.resolvedStrategy();
-    if (strategy == ResourceStrategy::OnDemandOnly &&
-        options.reserved > 0) {
-        inform("reserved cores with on-demand strategy: switching "
-               "to the hybrid strategy");
-        strategy = ResourceStrategy::HybridGreedy;
-    }
-
-    SimulationResult result =
-        runPolicy(options.policy, trace, queues, cis, cluster,
-                  strategy);
+    GAIA_TRY_ASSIGN(const ScenarioSpec spec,
+                    scenarioFromOptions(options));
+    AssetCache cache;
+    GAIA_TRY_ASSIGN(SimulationResult result,
+                    runScenario(spec, cache));
     const RunArtifacts files =
         writeRunArtifacts(result, options.output_dir);
     if (artifacts != nullptr)

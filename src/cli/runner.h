@@ -1,7 +1,8 @@
 /**
  * @file
- * gaia_run execution: assemble the scenario described by the
- * options, simulate, and emit the artifact's three result files —
+ * gaia_run execution: translate the parsed options into a
+ * ScenarioSpec, run it through the scenario engine, and emit the
+ * artifact's three result files —
  *
  *   aggregate.csv   one row of cluster-level totals,
  *   details.csv     one row per job (timing, carbon, cost),
@@ -13,7 +14,9 @@
 
 #include <string>
 
+#include "analysis/scenario.h"
 #include "cli/options.h"
+#include "common/status.h"
 #include "sim/results.h"
 
 namespace gaia {
@@ -27,12 +30,21 @@ struct RunArtifacts
 };
 
 /**
- * Execute one gaia_run invocation: build (or load) the workload and
- * carbon traces, simulate, write the three CSVs into
- * options.output_dir, and return the result for further inspection.
+ * Translate options into the declarative scenario they describe.
+ * Unknown names (workload, region) and inconsistent combinations
+ * surface as an error Status.
  */
-SimulationResult runFromOptions(const CliOptions &options,
-                                RunArtifacts *artifacts = nullptr);
+Result<ScenarioSpec> scenarioFromOptions(const CliOptions &options);
+
+/**
+ * Execute one gaia_run invocation: build the scenario, simulate it,
+ * write the three CSVs into options.output_dir, and return the
+ * result for further inspection. Bad input (missing file, malformed
+ * CSV, unknown name) yields an error Status instead of exiting.
+ */
+Result<SimulationResult>
+runFromOptions(const CliOptions &options,
+               RunArtifacts *artifacts = nullptr);
 
 /** Write the three artifact CSVs for an existing result. */
 RunArtifacts writeRunArtifacts(const SimulationResult &result,

@@ -8,8 +8,17 @@ namespace gaia {
 
 EvictionModel::EvictionModel(double hourly_rate) : rate_(hourly_rate)
 {
-    if (rate_ < 0.0 || rate_ > 1.0)
-        fatal("eviction rate out of [0,1]: ", rate_);
+    GAIA_ASSERT(rate_ >= 0.0 && rate_ <= 1.0,
+                "eviction rate out of [0,1]: ", rate_,
+                " (use EvictionModel::make for untrusted rates)");
+}
+
+Result<EvictionModel>
+EvictionModel::make(double hourly_rate)
+{
+    GAIA_REQUIRE(hourly_rate >= 0.0 && hourly_rate <= 1.0,
+                 "eviction rate out of [0,1]: ", hourly_rate);
+    return EvictionModel(hourly_rate);
 }
 
 Seconds

@@ -14,6 +14,7 @@
 #define GAIA_CLOUD_EVICTION_H
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/time.h"
 
 namespace gaia {
@@ -23,8 +24,12 @@ class EvictionModel
 {
   public:
     /** @param hourly_rate probability of eviction per running hour,
-     *         in [0, 1]. Zero disables evictions entirely. */
+     *         in [0, 1] (asserted — untrusted rates go through
+     *         make()). Zero disables evictions entirely. */
     explicit EvictionModel(double hourly_rate = 0.0);
+
+    /** Validating factory for untrusted rates. */
+    static Result<EvictionModel> make(double hourly_rate);
 
     double hourlyRate() const { return rate_; }
 

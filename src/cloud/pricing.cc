@@ -38,15 +38,19 @@ PricingModel::reservedUpfront(int cores, Seconds horizon) const
            toHours(horizon);
 }
 
-void
+Status
 PricingModel::validate() const
 {
-    if (on_demand_per_core_hour < 0.0)
-        fatal("negative on-demand price ", on_demand_per_core_hour);
-    if (reserved_fraction < 0.0 || reserved_fraction > 1.0)
-        fatal("reserved fraction out of [0,1]: ", reserved_fraction);
-    if (spot_fraction < 0.0 || spot_fraction > 1.0)
-        fatal("spot fraction out of [0,1]: ", spot_fraction);
+    GAIA_REQUIRE(on_demand_per_core_hour >= 0.0,
+                 "negative on-demand price ",
+                 on_demand_per_core_hour);
+    GAIA_REQUIRE(reserved_fraction >= 0.0 &&
+                     reserved_fraction <= 1.0,
+                 "reserved fraction out of [0,1]: ",
+                 reserved_fraction);
+    GAIA_REQUIRE(spot_fraction >= 0.0 && spot_fraction <= 1.0,
+                 "spot fraction out of [0,1]: ", spot_fraction);
+    return Status::ok();
 }
 
 double

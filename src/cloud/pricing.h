@@ -17,6 +17,7 @@
 #define GAIA_CLOUD_PRICING_H
 
 #include "cloud/purchase.h"
+#include "common/status.h"
 #include "common/time.h"
 
 namespace gaia {
@@ -43,8 +44,8 @@ struct PricingModel
      */
     double reservedUpfront(int cores, Seconds horizon) const;
 
-    /** Validate ranges; fatal() on nonsense (negative prices…). */
-    void validate() const;
+    /** OK when all prices/fractions are in range. */
+    Status validate() const;
 };
 
 /** Electrical power drawn by busy cores. */

@@ -6,8 +6,8 @@ namespace gaia {
 
 ReservedPool::ReservedPool(int capacity) : capacity_(capacity)
 {
-    if (capacity < 0)
-        fatal("negative reserved capacity ", capacity);
+    GAIA_ASSERT(capacity >= 0, "negative reserved capacity ",
+                capacity);
 }
 
 bool

@@ -9,18 +9,20 @@ namespace gaia {
 
 namespace {
 
-CsvTable
+Result<CsvTable>
 parseStream(std::istream &in, const std::string &context)
 {
     std::string line;
     if (!std::getline(in, line))
-        fatal("empty CSV input: ", context);
+        return Status::parseError("empty CSV input: ", context);
 
     std::vector<std::string> header;
     for (const auto &field : split(line, ','))
         header.emplace_back(trim(field));
-    if (header.empty())
-        fatal("CSV header has no columns: ", context);
+    if (header.empty()) {
+        return Status::parseError("CSV header has no columns: ",
+                                  context);
+    }
 
     std::vector<std::vector<std::string>> rows;
     std::size_t line_no = 1;
@@ -32,8 +34,9 @@ parseStream(std::istream &in, const std::string &context)
         for (const auto &field : split(line, ','))
             row.emplace_back(trim(field));
         if (row.size() != header.size()) {
-            fatal("CSV row ", line_no, " has ", row.size(),
-                  " fields, expected ", header.size(), ": ", context);
+            return Status::parseError(
+                "CSV row ", line_no, " has ", row.size(),
+                " fields, expected ", header.size(), ": ", context);
         }
         rows.push_back(std::move(row));
     }
@@ -52,14 +55,23 @@ CsvTable::CsvTable(std::vector<std::string> header,
     }
 }
 
-std::size_t
-CsvTable::columnIndex(const std::string &name) const
+Result<std::size_t>
+CsvTable::tryColumnIndex(const std::string &name) const
 {
     for (std::size_t i = 0; i < header_.size(); ++i) {
         if (header_[i] == name)
             return i;
     }
-    fatal("CSV column '", name, "' not found");
+    return Status::notFound("CSV column '", name, "' not found");
+}
+
+std::size_t
+CsvTable::columnIndex(const std::string &name) const
+{
+    const Result<std::size_t> index = tryColumnIndex(name);
+    if (!index.isOk())
+        fatal(index.status().message());
+    return index.value();
 }
 
 const std::string &
@@ -70,47 +82,94 @@ CsvTable::cell(std::size_t row, std::size_t col) const
     return rows_[row][col];
 }
 
-double
-CsvTable::cellDouble(std::size_t row, std::size_t col) const
+Result<double>
+CsvTable::tryCellDouble(std::size_t row, std::size_t col) const
 {
     std::ostringstream ctx;
     ctx << "row " << row << ", column '" << header_[col] << "'";
-    return parseDouble(cell(row, col), ctx.str());
+    return tryParseDouble(cell(row, col), ctx.str());
+}
+
+Result<std::int64_t>
+CsvTable::tryCellInt(std::size_t row, std::size_t col) const
+{
+    std::ostringstream ctx;
+    ctx << "row " << row << ", column '" << header_[col] << "'";
+    return tryParseInt(cell(row, col), ctx.str());
+}
+
+double
+CsvTable::cellDouble(std::size_t row, std::size_t col) const
+{
+    const Result<double> value = tryCellDouble(row, col);
+    if (!value.isOk())
+        fatal(value.status().message());
+    return value.value();
 }
 
 std::int64_t
 CsvTable::cellInt(std::size_t row, std::size_t col) const
 {
-    std::ostringstream ctx;
-    ctx << "row " << row << ", column '" << header_[col] << "'";
-    return parseInt(cell(row, col), ctx.str());
+    const Result<std::int64_t> value = tryCellInt(row, col);
+    if (!value.isOk())
+        fatal(value.status().message());
+    return value.value();
+}
+
+Result<std::vector<double>>
+CsvTable::tryColumnDoubles(const std::string &name) const
+{
+    GAIA_TRY_ASSIGN(const std::size_t col, tryColumnIndex(name));
+    std::vector<double> out;
+    out.reserve(rows_.size());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        GAIA_TRY_ASSIGN(const double value, tryCellDouble(r, col));
+        out.push_back(value);
+    }
+    return out;
 }
 
 std::vector<double>
 CsvTable::columnDoubles(const std::string &name) const
 {
-    const std::size_t col = columnIndex(name);
-    std::vector<double> out;
-    out.reserve(rows_.size());
-    for (std::size_t r = 0; r < rows_.size(); ++r)
-        out.push_back(cellDouble(r, col));
-    return out;
+    Result<std::vector<double>> column = tryColumnDoubles(name);
+    if (!column.isOk())
+        fatal(column.status().message());
+    return std::move(column).value();
+}
+
+Result<CsvTable>
+tryReadCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Status::notFound("cannot open CSV file: ", path);
+    return parseStream(in, path);
+}
+
+Result<CsvTable>
+tryReadCsvText(const std::string &text, const std::string &context)
+{
+    std::istringstream in(text);
+    return parseStream(in, context);
 }
 
 CsvTable
 readCsv(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("cannot open CSV file: ", path);
-    return parseStream(in, path);
+    Result<CsvTable> table = tryReadCsv(path);
+    if (!table.isOk())
+        fatal(table.status().message());
+    return std::move(table).value();
 }
 
 CsvTable
 readCsvText(const std::string &text, const std::string &context)
 {
-    std::istringstream in(text);
-    return parseStream(in, context);
+    Result<CsvTable> table = tryReadCsvText(text, context);
+    if (!table.isOk())
+        fatal(table.status().message());
+    return std::move(table).value();
 }
 
 CsvWriter::CsvWriter(const std::string &path,

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace gaia {
 
 /** In-memory CSV table: a header plus string-valued rows. */
@@ -29,15 +31,28 @@ class CsvTable
     std::size_t rowCount() const { return rows_.size(); }
     std::size_t columnCount() const { return header_.size(); }
 
+    /** Column index for `name`; NotFound if absent. */
+    Result<std::size_t> tryColumnIndex(const std::string &name) const;
+
     /** Column index for `name`; fatal() if absent. */
     std::size_t columnIndex(const std::string &name) const;
 
     /** Raw cell access. */
     const std::string &cell(std::size_t row, std::size_t col) const;
 
+    /** Typed accessors; ParseError describes row and column. */
+    Result<double> tryCellDouble(std::size_t row,
+                                 std::size_t col) const;
+    Result<std::int64_t> tryCellInt(std::size_t row,
+                                    std::size_t col) const;
+
     /** Typed accessors with error context in fatal() messages. */
     double cellDouble(std::size_t row, std::size_t col) const;
     std::int64_t cellInt(std::size_t row, std::size_t col) const;
+
+    /** Full column extraction as doubles; first parse error wins. */
+    Result<std::vector<double>>
+    tryColumnDoubles(const std::string &name) const;
 
     /** Full column extraction as doubles. */
     std::vector<double> columnDoubles(const std::string &name) const;
@@ -46,6 +61,14 @@ class CsvTable
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;
 };
+
+/** Parse a CSV file; error on missing file or ragged rows. */
+Result<CsvTable> tryReadCsv(const std::string &path);
+
+/** Parse CSV from a string; error on empty input or ragged rows. */
+Result<CsvTable> tryReadCsvText(const std::string &text,
+                                const std::string &context =
+                                    "<string>");
 
 /** Parse a CSV file; fatal() on missing file or ragged rows. */
 CsvTable readCsv(const std::string &path);

@@ -1,0 +1,38 @@
+#include "common/status.h"
+
+namespace gaia {
+
+std::string_view
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return "ok";
+      case ErrorCode::InvalidArgument:
+        return "invalid-argument";
+      case ErrorCode::NotFound:
+        return "not-found";
+      case ErrorCode::ParseError:
+        return "parse-error";
+      case ErrorCode::FailedPrecondition:
+        return "failed-precondition";
+    }
+    panic("unknown error code");
+}
+
+const std::string &
+Status::message() const
+{
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "OK";
+    return detail::concat(errorCodeName(code()), ": ", message());
+}
+
+} // namespace gaia

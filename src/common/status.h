@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Recoverable error handling: gaia::Status and gaia::Result<T>.
+ *
+ * GAIA distinguishes three failure classes (see DESIGN.md, "Error
+ * handling conventions"):
+ *
+ *   - GAIA_ASSERT / panic(): an internal invariant was violated —
+ *     a GAIA bug; aborts.
+ *   - Status / Result<T>: bad *input* (malformed CSV, out-of-range
+ *     configuration, unknown name). Returned, never thrown, so a
+ *     parameter sweep can report one bad cell and keep going.
+ *   - fatal(): terminal user-facing exit for standalone tools that
+ *     have nothing to recover to. Library code under trace/,
+ *     workload/, cloud/, and cli/ must not call it on input errors.
+ *
+ * A Status is cheap to pass around: the OK state carries no
+ * allocation at all. Result<T> is a value-or-Status sum type with
+ * full move-only payload support (e.g. Result<PolicyPtr>).
+ *
+ * Propagation macros:
+ *
+ *     GAIA_TRY(statusExpr);              // return on error
+ *     GAIA_TRY_ASSIGN(lhs, resultExpr);  // unwrap or return
+ *     GAIA_REQUIRE(cond, "message ", x); // invalid-argument check
+ */
+
+#ifndef GAIA_COMMON_STATUS_H
+#define GAIA_COMMON_STATUS_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gaia {
+
+/** Coarse classification of recoverable errors. */
+enum class ErrorCode
+{
+    Ok = 0,
+    /** A value or configuration field is out of its valid range. */
+    InvalidArgument,
+    /** A named entity (file, policy, region…) does not exist. */
+    NotFound,
+    /** Text input could not be parsed (CSV cells, option values). */
+    ParseError,
+    /** Inputs are individually valid but mutually inconsistent. */
+    FailedPrecondition,
+};
+
+/** Short label for an error code, e.g. "invalid-argument". */
+std::string_view errorCodeName(ErrorCode code);
+
+/**
+ * Success or a (code, message) error. Copyable and cheap: OK holds
+ * no allocation; errors share their payload across copies.
+ */
+class Status
+{
+  public:
+    /** OK status. */
+    Status() = default;
+
+    static Status ok() { return Status(); }
+
+    /** Error status with a concatenated message. */
+    template <typename... Args>
+    static Status
+    error(ErrorCode code, Args &&...args)
+    {
+        GAIA_ASSERT(code != ErrorCode::Ok,
+                    "error status needs a non-OK code");
+        return Status(code,
+                      detail::concat(std::forward<Args>(args)...));
+    }
+
+    template <typename... Args>
+    static Status
+    invalidArgument(Args &&...args)
+    {
+        return error(ErrorCode::InvalidArgument,
+                     std::forward<Args>(args)...);
+    }
+
+    template <typename... Args>
+    static Status
+    notFound(Args &&...args)
+    {
+        return error(ErrorCode::NotFound,
+                     std::forward<Args>(args)...);
+    }
+
+    template <typename... Args>
+    static Status
+    parseError(Args &&...args)
+    {
+        return error(ErrorCode::ParseError,
+                     std::forward<Args>(args)...);
+    }
+
+    template <typename... Args>
+    static Status
+    failedPrecondition(Args &&...args)
+    {
+        return error(ErrorCode::FailedPrecondition,
+                     std::forward<Args>(args)...);
+    }
+
+    bool isOk() const { return rep_ == nullptr; }
+
+    ErrorCode
+    code() const
+    {
+        return rep_ ? rep_->code : ErrorCode::Ok;
+    }
+
+    /** Error message; empty for OK. */
+    const std::string &message() const;
+
+    /** "OK" or "<code>: <message>" for reporting. */
+    std::string toString() const;
+
+  private:
+    struct Rep
+    {
+        ErrorCode code;
+        std::string message;
+    };
+
+    Status(ErrorCode code, std::string message)
+        : rep_(std::make_shared<const Rep>(
+              Rep{code, std::move(message)}))
+    {
+    }
+
+    std::shared_ptr<const Rep> rep_;
+};
+
+/**
+ * A T or the Status explaining why there is none. Supports
+ * move-only T; copyable whenever T is copyable.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Implicit from a value (success). */
+    Result(T value) : value_(std::move(value)) {}
+
+    /** Implicit from an error status. */
+    Result(Status status) : status_(std::move(status))
+    {
+        GAIA_ASSERT(!status_.isOk(),
+                    "Result constructed from an OK status");
+    }
+
+    bool isOk() const { return value_.has_value(); }
+
+    /** OK when holding a value, the error otherwise. */
+    const Status &status() const { return status_; }
+
+    /** Access the value; panics (GAIA bug) when holding an error. */
+    const T &
+    value() const &
+    {
+        GAIA_ASSERT(isOk(), "value() on error Result: ",
+                    status_.toString());
+        return *value_;
+    }
+
+    T &
+    value() &
+    {
+        GAIA_ASSERT(isOk(), "value() on error Result: ",
+                    status_.toString());
+        return *value_;
+    }
+
+    T &&
+    value() &&
+    {
+        GAIA_ASSERT(isOk(), "value() on error Result: ",
+                    status_.toString());
+        return *std::move(value_);
+    }
+
+    /** The value, or `fallback` when holding an error. */
+    T
+    valueOr(T fallback) const &
+    {
+        return isOk() ? *value_ : std::move(fallback);
+    }
+
+    const T &operator*() const & { return value(); }
+    T &operator*() & { return value(); }
+    T &&operator*() && { return std::move(*this).value(); }
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+
+  private:
+    std::optional<T> value_;
+    Status status_;
+};
+
+namespace detail {
+
+/** Extract the error from a Status or a Result<T> uniformly. */
+inline Status
+toStatus(const Status &status)
+{
+    return status;
+}
+
+template <typename T>
+Status
+toStatus(const Result<T> &result)
+{
+    return result.status();
+}
+
+} // namespace detail
+
+#define GAIA_STATUS_CONCAT_INNER(a, b) a##b
+#define GAIA_STATUS_CONCAT(a, b) GAIA_STATUS_CONCAT_INNER(a, b)
+
+/** Evaluate a Status expression; return it on error. */
+#define GAIA_TRY(expr)                                                  \
+    do {                                                                \
+        ::gaia::Status gaia_try_status =                                \
+            ::gaia::detail::toStatus((expr));                           \
+        if (!gaia_try_status.isOk())                                    \
+            return gaia_try_status;                                     \
+    } while (0)
+
+/**
+ * Evaluate a Result expression; move its value into `lhs` on
+ * success, return its Status on error. `lhs` may declare a new
+ * variable: GAIA_TRY_ASSIGN(const auto trace, loadTrace(path));
+ */
+#define GAIA_TRY_ASSIGN(lhs, expr)                                      \
+    GAIA_TRY_ASSIGN_IMPL(                                               \
+        GAIA_STATUS_CONCAT(gaia_try_result_, __LINE__), lhs, expr)
+
+#define GAIA_TRY_ASSIGN_IMPL(tmp, lhs, expr)                            \
+    auto tmp = (expr);                                                  \
+    if (!tmp.isOk())                                                    \
+        return tmp.status();                                            \
+    lhs = std::move(tmp).value()
+
+/** Input check: return an InvalidArgument status when false. */
+#define GAIA_REQUIRE(cond, ...)                                         \
+    do {                                                                \
+        if (!(cond))                                                    \
+            return ::gaia::Status::invalidArgument(__VA_ARGS__);        \
+    } while (0)
+
+} // namespace gaia
+
+#endif // GAIA_COMMON_STATUS_H

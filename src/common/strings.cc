@@ -37,28 +37,50 @@ trim(std::string_view text)
     return text;
 }
 
-double
-parseDouble(std::string_view text, std::string_view context)
+Result<double>
+tryParseDouble(std::string_view text, std::string_view context)
 {
     text = trim(text);
     double value = 0.0;
     const auto [ptr, ec] =
         std::from_chars(text.data(), text.data() + text.size(), value);
-    if (ec != std::errc() || ptr != text.data() + text.size())
-        fatal("cannot parse '", text, "' as a number (", context, ")");
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Status::parseError("cannot parse '", text,
+                                  "' as a number (", context, ")");
+    }
     return value;
 }
 
-std::int64_t
-parseInt(std::string_view text, std::string_view context)
+Result<std::int64_t>
+tryParseInt(std::string_view text, std::string_view context)
 {
     text = trim(text);
     std::int64_t value = 0;
     const auto [ptr, ec] =
         std::from_chars(text.data(), text.data() + text.size(), value);
-    if (ec != std::errc() || ptr != text.data() + text.size())
-        fatal("cannot parse '", text, "' as an integer (", context, ")");
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Status::parseError("cannot parse '", text,
+                                  "' as an integer (", context, ")");
+    }
     return value;
+}
+
+double
+parseDouble(std::string_view text, std::string_view context)
+{
+    const Result<double> parsed = tryParseDouble(text, context);
+    if (!parsed.isOk())
+        fatal(parsed.status().message());
+    return parsed.value();
+}
+
+std::int64_t
+parseInt(std::string_view text, std::string_view context)
+{
+    const Result<std::int64_t> parsed = tryParseInt(text, context);
+    if (!parsed.isOk())
+        fatal(parsed.status().message());
+    return parsed.value();
 }
 
 std::string

@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
+
 namespace gaia {
 
 /** Split on a delimiter; keeps empty fields. */
@@ -20,6 +22,14 @@ std::vector<std::string> split(std::string_view text, char delim);
 
 /** Strip ASCII whitespace from both ends. */
 std::string_view trim(std::string_view text);
+
+/** Parse a double; ParseError (with `context`) on failure. */
+Result<double> tryParseDouble(std::string_view text,
+                              std::string_view context);
+
+/** Parse an int64; ParseError (with `context`) on failure. */
+Result<std::int64_t> tryParseInt(std::string_view text,
+                                 std::string_view context);
 
 /** Parse a double; calls fatal() with `context` on failure. */
 double parseDouble(std::string_view text, std::string_view context);

@@ -6,25 +6,41 @@
 
 namespace gaia {
 
-PolicyPtr
-makePolicy(const std::string &name)
+Result<PolicyPtr>
+tryMakePolicy(const std::string &name)
 {
     const std::string key = toLower(name);
     if (key == "nowait")
-        return std::make_unique<NoWaitPolicy>();
+        return PolicyPtr(std::make_unique<NoWaitPolicy>());
     if (key == "allwait-threshold" || key == "allwait")
-        return std::make_unique<AllWaitThresholdPolicy>();
+        return PolicyPtr(std::make_unique<AllWaitThresholdPolicy>());
     if (key == "wait-awhile" || key == "waitawhile")
-        return std::make_unique<WaitAwhilePolicy>();
+        return PolicyPtr(std::make_unique<WaitAwhilePolicy>());
     if (key == "ecovisor")
-        return std::make_unique<EcovisorPolicy>();
+        return PolicyPtr(std::make_unique<EcovisorPolicy>());
     if (key == "lowest-slot")
-        return std::make_unique<LowestSlotPolicy>();
+        return PolicyPtr(std::make_unique<LowestSlotPolicy>());
     if (key == "lowest-window")
-        return std::make_unique<LowestWindowPolicy>();
+        return PolicyPtr(std::make_unique<LowestWindowPolicy>());
     if (key == "carbon-time")
-        return std::make_unique<CarbonTimePolicy>();
-    fatal("unknown policy '", name, "'");
+        return PolicyPtr(std::make_unique<CarbonTimePolicy>());
+    std::string known;
+    for (const std::string &n : allPolicyNames()) {
+        if (!known.empty())
+            known += ", ";
+        known += n;
+    }
+    return Status::notFound("unknown policy '", name,
+                            "' (known: ", known, ")");
+}
+
+PolicyPtr
+makePolicy(const std::string &name)
+{
+    Result<PolicyPtr> policy = tryMakePolicy(name);
+    if (!policy.isOk())
+        fatal(policy.status().message());
+    return std::move(policy).value();
 }
 
 std::vector<std::string>

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/policy.h"
 
 namespace gaia {
@@ -17,9 +18,15 @@ namespace gaia {
  * Construct a policy by canonical name: "NoWait",
  * "AllWait-Threshold", "Wait-Awhile", "Ecovisor", "Lowest-Slot",
  * "Lowest-Window", or "Carbon-Time" (case-insensitive). fatal() on
- * unknown names.
+ * unknown names; user-supplied names go through tryMakePolicy.
  */
 PolicyPtr makePolicy(const std::string &name);
+
+/**
+ * Construct a policy by name, NotFound status (listing the known
+ * names) when the name matches no policy.
+ */
+Result<PolicyPtr> tryMakePolicy(const std::string &name);
 
 /** Canonical names of every available policy, Table 1 order. */
 std::vector<std::string> allPolicyNames();

@@ -22,28 +22,44 @@ strategyName(ResourceStrategy strategy)
     panic("unknown resource strategy");
 }
 
-void
+Status
 ClusterConfig::validate() const
 {
-    if (reserved_cores < 0)
-        fatal("negative reserved core count ", reserved_cores);
-    pricing.validate();
-    if (energy.watts_per_core < 0.0)
-        fatal("negative per-core power ", energy.watts_per_core);
-    if (spot_eviction_rate < 0.0 || spot_eviction_rate > 1.0)
-        fatal("spot eviction rate out of [0,1]: ",
-              spot_eviction_rate);
-    if (spot_max_length < 0)
-        fatal("negative spot length bound ", spot_max_length);
-    if (startup_overhead < 0)
-        fatal("negative startup overhead ", startup_overhead);
-    if (reserved_idle_power_fraction < 0.0 ||
-        reserved_idle_power_fraction > 1.0) {
-        fatal("idle power fraction out of [0,1]: ",
-              reserved_idle_power_fraction);
-    }
-    if (reservation_horizon < 0)
-        fatal("negative reservation horizon ", reservation_horizon);
+    GAIA_REQUIRE(reserved_cores >= 0,
+                 "negative reserved core count ", reserved_cores);
+    GAIA_TRY(pricing.validate());
+    GAIA_REQUIRE(energy.watts_per_core >= 0.0,
+                 "negative per-core power ", energy.watts_per_core);
+    GAIA_REQUIRE(spot_eviction_rate >= 0.0 &&
+                     spot_eviction_rate <= 1.0,
+                 "spot eviction rate out of [0,1]: ",
+                 spot_eviction_rate);
+    GAIA_REQUIRE(spot_max_length >= 0,
+                 "negative spot length bound ", spot_max_length);
+    GAIA_REQUIRE(startup_overhead >= 0,
+                 "negative startup overhead ", startup_overhead);
+    GAIA_REQUIRE(reserved_idle_power_fraction >= 0.0 &&
+                     reserved_idle_power_fraction <= 1.0,
+                 "idle power fraction out of [0,1]: ",
+                 reserved_idle_power_fraction);
+    GAIA_REQUIRE(reservation_horizon >= 0,
+                 "negative reservation horizon ",
+                 reservation_horizon);
+    return Status::ok();
+}
+
+Status
+validateClusterSetup(const ClusterConfig &cluster,
+                     ResourceStrategy strategy)
+{
+    GAIA_TRY(cluster.validate());
+    GAIA_REQUIRE(strategy != ResourceStrategy::OnDemandOnly ||
+                     cluster.reserved_cores == 0,
+                 "OnDemandOnly strategy with ",
+                 cluster.reserved_cores,
+                 " reserved cores; use HybridGreedy or ",
+                 "ReservedFirst");
+    return Status::ok();
 }
 
 Seconds

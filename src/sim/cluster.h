@@ -15,6 +15,7 @@
 #include <string>
 
 #include "cloud/pricing.h"
+#include "common/status.h"
 #include "common/time.h"
 #include "core/queues.h"
 #include "workload/job.h"
@@ -107,9 +108,18 @@ struct ClusterConfig
     /** Seed for eviction sampling. */
     std::uint64_t seed = 42;
 
-    /** fatal() on inconsistent settings. */
-    void validate() const;
+    /** OK when all settings are individually in range. */
+    Status validate() const;
 };
+
+/**
+ * Full setup check: validate() plus strategy consistency (e.g.
+ * OnDemandOnly clusters must not carry reserved cores). The
+ * simulator asserts this holds; recoverable callers (CLI, sweeps)
+ * check it first and report the Status.
+ */
+Status validateClusterSetup(const ClusterConfig &cluster,
+                            ResourceStrategy strategy);
 
 /**
  * Deterministic reservation horizon covering any schedule the given

@@ -23,12 +23,9 @@ OnlineScheduler::OnlineScheduler(const SchedulingPolicy &policy,
       eviction_(cluster.spot_eviction_rate),
       rng_(cluster.seed)
 {
-    cluster_.validate();
-    if (strategy_ == ResourceStrategy::OnDemandOnly &&
-        cluster_.reserved_cores != 0) {
-        fatal("OnDemandOnly strategy with ", cluster_.reserved_cores,
-              " reserved cores; use HybridGreedy or ReservedFirst");
-    }
+    const Status setup = validateClusterSetup(cluster_, strategy_);
+    if (!setup.isOk())
+        fatal(setup.message());
     horizon_ = cluster_.reservation_horizon; // 0 = derive later
 }
 

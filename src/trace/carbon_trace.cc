@@ -10,17 +10,34 @@
 
 namespace gaia {
 
+Status
+CarbonTrace::validateValues(const std::string &region,
+                            const std::vector<double> &hourly)
+{
+    GAIA_REQUIRE(!hourly.empty(), "carbon trace '", region,
+                 "' has no slots");
+    for (std::size_t i = 0; i < hourly.size(); ++i) {
+        GAIA_REQUIRE(hourly[i] >= 0.0 && std::isfinite(hourly[i]),
+                     "carbon trace '", region, "' slot ", i,
+                     " has invalid intensity ", hourly[i]);
+    }
+    return Status::ok();
+}
+
 CarbonTrace::CarbonTrace(std::string region, std::vector<double> hourly)
     : region_(std::move(region)), values_(std::move(hourly))
 {
-    if (values_.empty())
-        fatal("carbon trace '", region_, "' has no slots");
-    for (std::size_t i = 0; i < values_.size(); ++i) {
-        if (!(values_[i] >= 0.0) || !std::isfinite(values_[i])) {
-            fatal("carbon trace '", region_, "' slot ", i,
-                  " has invalid intensity ", values_[i]);
-        }
-    }
+    const Status valid = validateValues(region_, values_);
+    GAIA_ASSERT(valid.isOk(), "invalid carbon trace passed to the ",
+                "constructor (use CarbonTrace::make for untrusted ",
+                "data): ", valid.message());
+}
+
+Result<CarbonTrace>
+CarbonTrace::make(std::string region, std::vector<double> hourly)
+{
+    GAIA_TRY(validateValues(region, hourly));
+    return CarbonTrace(std::move(region), std::move(hourly));
 }
 
 std::size_t
@@ -130,11 +147,13 @@ CarbonTrace::toCsv(const std::string &path) const
         writer.writeRow({std::to_string(i), fmt(values_[i], 4)});
 }
 
-CarbonTrace
+Result<CarbonTrace>
 CarbonTrace::fromCsv(const std::string &path, const std::string &region)
 {
-    const CsvTable table = readCsv(path);
-    return CarbonTrace(region, table.columnDoubles("carbon_intensity"));
+    GAIA_TRY_ASSIGN(const CsvTable table, tryReadCsv(path));
+    GAIA_TRY_ASSIGN(std::vector<double> values,
+                    table.tryColumnDoubles("carbon_intensity"));
+    return make(region, std::move(values));
 }
 
 } // namespace gaia

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/time.h"
 
 namespace gaia {
@@ -30,8 +31,16 @@ namespace gaia {
 class CarbonTrace
 {
   public:
-    /** Build from hourly values; all must be non-negative. */
+    /**
+     * Build from hourly values; all must be non-negative and
+     * finite. The constructor asserts validity — untrusted data
+     * (CSV loads, user-assembled series) must go through make().
+     */
     CarbonTrace(std::string region, std::vector<double> hourly);
+
+    /** Validating factory for untrusted hourly values. */
+    static Result<CarbonTrace> make(std::string region,
+                                    std::vector<double> hourly);
 
     const std::string &region() const { return region_; }
     std::size_t slotCount() const { return values_.size(); }
@@ -82,10 +91,14 @@ class CarbonTrace
 
     /** Load from CSV produced by toCsv() (or ElectricityMaps dumps
      *  reduced to the same two columns). */
-    static CarbonTrace fromCsv(const std::string &path,
-                               const std::string &region);
+    static Result<CarbonTrace> fromCsv(const std::string &path,
+                                       const std::string &region);
 
   private:
+    /** OK when every value is a finite non-negative intensity. */
+    static Status validateValues(const std::string &region,
+                                 const std::vector<double> &hourly);
+
     /** Clamp a slot index into the valid range. */
     std::size_t clampSlot(SlotIndex slot) const;
 

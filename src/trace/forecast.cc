@@ -34,16 +34,41 @@ PersistenceForecaster::predict(const CarbonTrace &trace,
     return dayBackValue(trace, now, slot);
 }
 
+namespace {
+
+Status
+validateForecasterConfig(int window_days, double persistence_weight)
+{
+    GAIA_REQUIRE(window_days >= 1,
+                 "profile window must be at least one day");
+    GAIA_REQUIRE(persistence_weight >= 0.0 &&
+                     persistence_weight <= 1.0,
+                 "persistence weight out of [0,1]: ",
+                 persistence_weight);
+    return Status::ok();
+}
+
+} // namespace
+
 DiurnalProfileForecaster::DiurnalProfileForecaster(
     int window_days, double persistence_weight)
     : window_days_(window_days),
       persistence_weight_(persistence_weight)
 {
-    if (window_days_ < 1)
-        fatal("profile window must be at least one day");
-    if (persistence_weight_ < 0.0 || persistence_weight_ > 1.0)
-        fatal("persistence weight out of [0,1]: ",
-              persistence_weight_);
+    const Status valid =
+        validateForecasterConfig(window_days_, persistence_weight_);
+    GAIA_ASSERT(valid.isOk(), "invalid forecaster config passed to ",
+                "the constructor (use DiurnalProfileForecaster::make ",
+                "for untrusted data): ", valid.message());
+}
+
+Result<DiurnalProfileForecaster>
+DiurnalProfileForecaster::make(int window_days,
+                               double persistence_weight)
+{
+    GAIA_TRY(validateForecasterConfig(window_days,
+                                      persistence_weight));
+    return DiurnalProfileForecaster(window_days, persistence_weight);
 }
 
 double

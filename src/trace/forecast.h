@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "trace/carbon_trace.h"
 
 namespace gaia {
@@ -65,8 +66,17 @@ class PersistenceForecaster final : public CarbonForecaster
 class DiurnalProfileForecaster final : public CarbonForecaster
 {
   public:
+    /**
+     * Requires window_days >= 1 and persistence_weight in [0, 1];
+     * the constructor asserts this — untrusted configuration goes
+     * through make().
+     */
     explicit DiurnalProfileForecaster(
         int window_days = 7, double persistence_weight = 0.3);
+
+    /** Validating factory for untrusted configuration. */
+    static Result<DiurnalProfileForecaster>
+    make(int window_days, double persistence_weight);
 
     std::string name() const override { return "diurnal-profile"; }
     double predict(const CarbonTrace &trace, Seconds now,

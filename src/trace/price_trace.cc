@@ -8,17 +8,34 @@
 
 namespace gaia {
 
+Status
+PriceTrace::validateValues(const std::string &market,
+                           const std::vector<double> &hourly)
+{
+    GAIA_REQUIRE(!hourly.empty(), "price trace '", market,
+                 "' has no slots");
+    for (std::size_t i = 0; i < hourly.size(); ++i) {
+        GAIA_REQUIRE(std::isfinite(hourly[i]) && hourly[i] >= 0.0,
+                     "price trace '", market, "' slot ", i,
+                     " has invalid price ", hourly[i]);
+    }
+    return Status::ok();
+}
+
 PriceTrace::PriceTrace(std::string market, std::vector<double> hourly)
     : market_(std::move(market)), values_(std::move(hourly))
 {
-    if (values_.empty())
-        fatal("price trace '", market_, "' has no slots");
-    for (std::size_t i = 0; i < values_.size(); ++i) {
-        if (!std::isfinite(values_[i]) || values_[i] < 0.0) {
-            fatal("price trace '", market_, "' slot ", i,
-                  " has invalid price ", values_[i]);
-        }
-    }
+    const Status valid = validateValues(market_, values_);
+    GAIA_ASSERT(valid.isOk(), "invalid price trace passed to the ",
+                "constructor (use PriceTrace::make for untrusted ",
+                "data): ", valid.message());
+}
+
+Result<PriceTrace>
+PriceTrace::make(std::string market, std::vector<double> hourly)
+{
+    GAIA_TRY(validateValues(market, hourly));
+    return PriceTrace(std::move(market), std::move(hourly));
 }
 
 double

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/time.h"
 #include "trace/carbon_trace.h"
 
@@ -28,7 +29,15 @@ namespace gaia {
 class PriceTrace
 {
   public:
+    /**
+     * Values must be finite and non-negative; the constructor
+     * asserts this — untrusted data goes through make().
+     */
     PriceTrace(std::string market, std::vector<double> hourly);
+
+    /** Validating factory for untrusted hourly prices. */
+    static Result<PriceTrace> make(std::string market,
+                                   std::vector<double> hourly);
 
     const std::string &market() const { return market_; }
     std::size_t slotCount() const { return values_.size(); }
@@ -42,6 +51,10 @@ class PriceTrace
     const std::vector<double> &values() const { return values_; }
 
   private:
+    /** OK when every value is a finite non-negative price. */
+    static Status validateValues(const std::string &market,
+                                 const std::vector<double> &hourly);
+
     std::string market_;
     std::vector<double> values_;
 };

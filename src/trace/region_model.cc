@@ -64,17 +64,22 @@ regionName(Region region)
     panic("unknown region enum value");
 }
 
-Region
+Result<Region>
 regionFromName(const std::string &name)
 {
+    std::string known;
     for (Region r :
          {Region::SouthAustralia, Region::OntarioCanada,
           Region::CaliforniaUS, Region::Netherlands,
           Region::KentuckyUS, Region::Sweden, Region::TexasUS}) {
         if (regionName(r) == name)
             return r;
+        if (!known.empty())
+            known += ", ";
+        known += regionName(r);
     }
-    fatal("unknown region name '", name, "'");
+    return Status::notFound("unknown region name '", name,
+                            "' (known: ", known, ")");
 }
 
 RegionParams

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "trace/carbon_trace.h"
 
 namespace gaia {
@@ -53,8 +54,11 @@ const std::vector<Region> &evaluationRegions();
 /** Short region label, e.g. "SA-AU". */
 std::string regionName(Region region);
 
-/** Parse a region label produced by regionName(); fatal on unknown. */
-Region regionFromName(const std::string &name);
+/**
+ * Parse a region label produced by regionName(); NotFound status on
+ * an unknown label (the message lists the known ones).
+ */
+Result<Region> regionFromName(const std::string &name);
 
 /** Generative parameters of one regional grid model. */
 struct RegionParams

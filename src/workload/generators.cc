@@ -208,13 +208,15 @@ WorkloadModel::sample(Rng &rng) const
     panic("unknown workload source");
 }
 
-JobTrace
+Result<JobTrace>
 buildTrace(WorkloadSource source, const TraceBuildOptions &options)
 {
-    GAIA_ASSERT(options.job_count > 0, "empty trace requested");
-    GAIA_ASSERT(options.span > 0, "non-positive trace span");
-    GAIA_ASSERT(options.min_length <= options.max_length,
-                "min_length exceeds max_length");
+    GAIA_REQUIRE(options.job_count > 0, "empty trace requested");
+    GAIA_REQUIRE(options.span > 0, "non-positive trace span ",
+                 options.span);
+    GAIA_REQUIRE(options.min_length <= options.max_length,
+                 "min_length ", options.min_length,
+                 " exceeds max_length ", options.max_length);
 
     const WorkloadModel model(source);
     Rng rng(options.seed);
@@ -229,9 +231,10 @@ buildTrace(WorkloadSource source, const TraceBuildOptions &options)
     std::size_t attempts = 0;
     while (jobs.size() < options.job_count) {
         if (++attempts > max_attempts) {
-            fatal("workload filter for ", workloadName(source),
-                  " rejected ", attempts, " consecutive samples; ",
-                  "filters are unsatisfiable");
+            return Status::failedPrecondition(
+                "workload filter for ", workloadName(source),
+                " rejected ", attempts, " consecutive samples; ",
+                "filters are unsatisfiable");
         }
         Job job = model.sample(rng);
         if (job.length < options.min_length ||
@@ -279,7 +282,9 @@ makeYearTrace(WorkloadSource source, std::uint64_t seed)
     options.job_count = 100000;
     options.span = kSecondsPerYear;
     options.seed = seed;
-    return buildTrace(source, options);
+    // Calibrated defaults are satisfiable by construction, so the
+    // Result cannot hold an error here.
+    return buildTrace(source, options).value();
 }
 
 JobTrace
@@ -290,7 +295,7 @@ makeWeekTrace(std::uint64_t seed)
     options.span = kSecondsPerWeek;
     options.max_cpus = 4; // paper: budgetary cap for the testbed
     options.seed = seed;
-    return buildTrace(WorkloadSource::AlibabaPai, options);
+    return buildTrace(WorkloadSource::AlibabaPai, options).value();
 }
 
 JobTrace

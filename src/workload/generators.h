@@ -36,6 +36,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "workload/job.h"
 
 namespace gaia {
@@ -112,10 +113,12 @@ struct TraceBuildOptions
  * Build a trace from `source`'s distribution model: draw jobs, apply
  * the paper's length/CPU filters (re-drawing until `job_count`
  * survivors), and scatter arrivals over `span` as a Poisson process
- * conditioned on the final count.
+ * conditioned on the final count. Fails (InvalidArgument /
+ * FailedPrecondition) on out-of-range options or unsatisfiable
+ * filters.
  */
-JobTrace buildTrace(WorkloadSource source,
-                    const TraceBuildOptions &options);
+Result<JobTrace> buildTrace(WorkloadSource source,
+                            const TraceBuildOptions &options);
 
 /** The paper's year-long 100k-job trace for `source`. */
 JobTrace makeYearTrace(WorkloadSource source, std::uint64_t seed = 1);

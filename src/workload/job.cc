@@ -7,6 +7,21 @@
 
 namespace gaia {
 
+Status
+JobTrace::validateJobs(const std::string &name,
+                       const std::vector<Job> &jobs)
+{
+    for (const Job &j : jobs) {
+        GAIA_REQUIRE(j.submit >= 0, "trace '", name, "': job ", j.id,
+                     " has negative submit time ", j.submit);
+        GAIA_REQUIRE(j.length > 0, "trace '", name, "': job ", j.id,
+                     " has non-positive length ", j.length);
+        GAIA_REQUIRE(j.cpus > 0, "trace '", name, "': job ", j.id,
+                     " has non-positive cpu demand ", j.cpus);
+    }
+    return Status::ok();
+}
+
 JobTrace::JobTrace(std::string name, std::vector<Job> jobs)
     : name_(std::move(name)), jobs_(std::move(jobs))
 {
@@ -14,17 +29,17 @@ JobTrace::JobTrace(std::string name, std::vector<Job> jobs)
                      [](const Job &a, const Job &b) {
                          return a.submit < b.submit;
                      });
-    for (const Job &j : jobs_) {
-        if (j.submit < 0)
-            fatal("trace '", name_, "': job ", j.id,
-                  " has negative submit time ", j.submit);
-        if (j.length <= 0)
-            fatal("trace '", name_, "': job ", j.id,
-                  " has non-positive length ", j.length);
-        if (j.cpus <= 0)
-            fatal("trace '", name_, "': job ", j.id,
-                  " has non-positive cpu demand ", j.cpus);
-    }
+    const Status valid = validateJobs(name_, jobs_);
+    GAIA_ASSERT(valid.isOk(), "invalid job list passed to the ",
+                "constructor (use JobTrace::make for untrusted ",
+                "data): ", valid.message());
+}
+
+Result<JobTrace>
+JobTrace::make(std::string name, std::vector<Job> jobs)
+{
+    GAIA_TRY(validateJobs(name, jobs));
+    return JobTrace(std::move(name), std::move(jobs));
 }
 
 const Job &
@@ -95,26 +110,32 @@ JobTrace::toCsv(const std::string &path) const
     }
 }
 
-JobTrace
+Result<JobTrace>
 JobTrace::fromCsv(const std::string &path, const std::string &name)
 {
-    const CsvTable table = readCsv(path);
-    const std::size_t id_col = table.columnIndex("id");
-    const std::size_t submit_col = table.columnIndex("submit");
-    const std::size_t length_col = table.columnIndex("length");
-    const std::size_t cpus_col = table.columnIndex("cpus");
+    GAIA_TRY_ASSIGN(const CsvTable table, tryReadCsv(path));
+    GAIA_TRY_ASSIGN(const std::size_t id_col,
+                    table.tryColumnIndex("id"));
+    GAIA_TRY_ASSIGN(const std::size_t submit_col,
+                    table.tryColumnIndex("submit"));
+    GAIA_TRY_ASSIGN(const std::size_t length_col,
+                    table.tryColumnIndex("length"));
+    GAIA_TRY_ASSIGN(const std::size_t cpus_col,
+                    table.tryColumnIndex("cpus"));
 
     std::vector<Job> jobs;
     jobs.reserve(table.rowCount());
     for (std::size_t r = 0; r < table.rowCount(); ++r) {
         Job j;
-        j.id = table.cellInt(r, id_col);
-        j.submit = table.cellInt(r, submit_col);
-        j.length = table.cellInt(r, length_col);
-        j.cpus = static_cast<int>(table.cellInt(r, cpus_col));
+        GAIA_TRY_ASSIGN(j.id, table.tryCellInt(r, id_col));
+        GAIA_TRY_ASSIGN(j.submit, table.tryCellInt(r, submit_col));
+        GAIA_TRY_ASSIGN(j.length, table.tryCellInt(r, length_col));
+        GAIA_TRY_ASSIGN(const std::int64_t cpus,
+                        table.tryCellInt(r, cpus_col));
+        j.cpus = static_cast<int>(cpus);
         jobs.push_back(j);
     }
-    return JobTrace(name, std::move(jobs));
+    return make(name, std::move(jobs));
 }
 
 } // namespace gaia

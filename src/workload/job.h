@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/time.h"
 
 namespace gaia {
@@ -55,8 +56,17 @@ struct Job
 class JobTrace
 {
   public:
-    /** Jobs are sorted by submit time on construction. */
+    /**
+     * Jobs are sorted by submit time on construction. Every job
+     * needs a non-negative submit time, a positive length, and a
+     * positive CPU demand; the constructor asserts this — untrusted
+     * job lists (CSV loads) must go through make().
+     */
     JobTrace(std::string name, std::vector<Job> jobs);
+
+    /** Validating factory for untrusted job lists. */
+    static Result<JobTrace> make(std::string name,
+                                 std::vector<Job> jobs);
 
     const std::string &name() const { return name_; }
     std::size_t jobCount() const { return jobs_.size(); }
@@ -91,10 +101,14 @@ class JobTrace
     void toCsv(const std::string &path) const;
 
     /** Load a trace written by toCsv(). */
-    static JobTrace fromCsv(const std::string &path,
-                            const std::string &name);
+    static Result<JobTrace> fromCsv(const std::string &path,
+                                    const std::string &name);
 
   private:
+    /** OK when every job satisfies the constructor's contract. */
+    static Status validateJobs(const std::string &name,
+                               const std::vector<Job> &jobs);
+
     std::string name_;
     std::vector<Job> jobs_;
 };

@@ -33,14 +33,16 @@ replicateTrace(const JobTrace &trace, int times)
     return JobTrace(trace.name(), std::move(jobs));
 }
 
-JobTrace
+Result<JobTrace>
 sampleTrace(const JobTrace &source, std::size_t count, Seconds span,
             std::uint64_t seed)
 {
     GAIA_ASSERT(count > 0, "sample count must be positive");
     GAIA_ASSERT(span > 0, "sample span must be positive");
-    if (source.empty())
-        fatal("cannot sample from an empty trace");
+    if (source.empty()) {
+        return Status::failedPrecondition(
+            "cannot sample from an empty trace");
+    }
 
     Rng rng(seed);
     std::vector<Seconds> arrivals;
@@ -82,13 +84,15 @@ normalizeDemand(const JobTrace &trace, double cores_per_unit)
     return JobTrace(trace.name(), std::move(jobs));
 }
 
-JobTrace
+Result<JobTrace>
 buildFromTrace(const JobTrace &source, std::size_t count,
                Seconds span, std::uint64_t seed, Seconds min_length,
                Seconds max_length)
 {
-    if (source.empty())
-        fatal("cannot build from an empty trace");
+    if (source.empty()) {
+        return Status::failedPrecondition(
+            "cannot build from an empty trace");
+    }
 
     // §6.1 step 2: replicate until the source covers the target
     // span (seasonal demand changes are not captured, as the paper
@@ -105,8 +109,9 @@ buildFromTrace(const JobTrace &source, std::size_t count,
     const JobTrace filtered =
         extended.filtered(min_length, max_length, 0);
     if (filtered.empty()) {
-        fatal("trace '", source.name(),
-              "' has no jobs inside the length filters");
+        return Status::failedPrecondition(
+            "trace '", source.name(),
+            "' has no jobs inside the length filters");
     }
     return sampleTrace(filtered, count, span, seed);
 }

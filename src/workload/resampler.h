@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "common/status.h"
 #include "workload/job.h"
 
 namespace gaia {
@@ -35,9 +36,11 @@ JobTrace replicateTrace(const JobTrace &trace, int times);
  * random (with replacement) from `source`, discard submit times,
  * and scatter the samples as a Poisson process over `span`
  * (conditioned on the count). Ids are renumbered 0..count-1.
+ * Fails (FailedPrecondition) when `source` is empty.
  */
-JobTrace sampleTrace(const JobTrace &source, std::size_t count,
-                     Seconds span, std::uint64_t seed);
+Result<JobTrace> sampleTrace(const JobTrace &source,
+                             std::size_t count, Seconds span,
+                             std::uint64_t seed);
 
 /**
  * Demand normalization (§6.1 step 3): multiply every job's CPU
@@ -50,12 +53,14 @@ JobTrace normalizeDemand(const JobTrace &trace,
 /**
  * The full pipeline: replicate `source` until it covers at least
  * `span`, apply the paper's length filters, then sample `count`
- * jobs over `span`.
+ * jobs over `span`. Fails (FailedPrecondition) when `source` is
+ * empty or the filters leave no jobs.
  */
-JobTrace buildFromTrace(const JobTrace &source, std::size_t count,
-                        Seconds span, std::uint64_t seed,
-                        Seconds min_length = 5 * kSecondsPerMinute,
-                        Seconds max_length = 3 * kSecondsPerDay);
+Result<JobTrace>
+buildFromTrace(const JobTrace &source, std::size_t count,
+               Seconds span, std::uint64_t seed,
+               Seconds min_length = 5 * kSecondsPerMinute,
+               Seconds max_length = 3 * kSecondsPerDay);
 
 } // namespace gaia
 

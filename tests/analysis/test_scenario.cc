@@ -1,0 +1,228 @@
+/** @file Tests for ScenarioSpec and the content-keyed AssetCache. */
+
+#include "analysis/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/time.h"
+
+namespace gaia {
+namespace {
+
+WorkloadSpec
+tinyWorkload(std::uint64_t seed = 1)
+{
+    TraceBuildOptions opt;
+    opt.job_count = 50;
+    opt.span = kSecondsPerDay;
+    opt.seed = seed;
+    return WorkloadSpec::builtin(WorkloadSource::AlibabaPai, opt);
+}
+
+TEST(WorkloadSpec, KeysSeparateKindsAndParameters)
+{
+    const WorkloadSpec a = tinyWorkload(1);
+    const WorkloadSpec b = tinyWorkload(1);
+    const WorkloadSpec c = tinyWorkload(2);
+    EXPECT_EQ(a.key(), b.key());
+    EXPECT_NE(a.key(), c.key());
+    EXPECT_NE(WorkloadSpec::week(1).key(),
+              WorkloadSpec::motivating(kSecondsPerDay, 1).key());
+    EXPECT_NE(WorkloadSpec::fromCsv("x.csv", false).key(),
+              WorkloadSpec::fromCsv("x.csv", true).key());
+}
+
+TEST(WorkloadSpec, RealizeBuildsDeterministically)
+{
+    const JobTrace a = tinyWorkload().realize().value();
+    const JobTrace b = tinyWorkload().realize().value();
+    ASSERT_EQ(a.jobCount(), 50u);
+    ASSERT_EQ(a.jobCount(), b.jobCount());
+    EXPECT_EQ(a.job(0).submit, b.job(0).submit);
+}
+
+TEST(WorkloadSpec, MissingCsvIsError)
+{
+    const WorkloadSpec spec =
+        WorkloadSpec::fromCsv("/nonexistent/jobs.csv");
+    EXPECT_FALSE(spec.realize().isOk());
+}
+
+TEST(CarbonSpec, KeysSeparateRegionSeedAndSlots)
+{
+    const CarbonSpec a = CarbonSpec::forRegion(
+        Region::SouthAustralia, 0, 1);
+    const CarbonSpec b = CarbonSpec::forRegion(
+        Region::SouthAustralia, 0, 2);
+    EXPECT_NE(a.key(100), b.key(100));
+    EXPECT_NE(a.key(100), a.key(200));
+    EXPECT_EQ(a.key(100),
+              CarbonSpec::forRegion(Region::SouthAustralia, 0, 1)
+                  .key(100));
+}
+
+TEST(CarbonSpec, RealizeMatchesRegionModel)
+{
+    const CarbonSpec spec =
+        CarbonSpec::forRegion(Region::CaliforniaUS, 0, 5);
+    const CarbonTrace got = spec.realize(48).value();
+    const CarbonTrace want =
+        makeRegionTrace(Region::CaliforniaUS, 48, 5);
+    ASSERT_EQ(got.slotCount(), 48u);
+    EXPECT_DOUBLE_EQ(got.values()[7], want.values()[7]);
+}
+
+TEST(AssetCache, SameSpecSharesOneBuild)
+{
+    AssetCache cache;
+    const auto first = cache.trace(tinyWorkload());
+    const auto second = cache.trace(tinyWorkload());
+    ASSERT_TRUE(first.isOk());
+    ASSERT_TRUE(second.isOk());
+    // Same content key -> the exact same object, built once.
+    EXPECT_EQ(first.value().get(), second.value().get());
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(AssetCache, DifferentSeedRebuilds)
+{
+    AssetCache cache;
+    const auto a = cache.trace(tinyWorkload(1));
+    const auto b = cache.trace(tinyWorkload(2));
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(b.isOk());
+    EXPECT_NE(a.value().get(), b.value().get());
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(AssetCache, ErrorsAreCachedToo)
+{
+    AssetCache cache;
+    const WorkloadSpec bad =
+        WorkloadSpec::fromCsv("/nonexistent/jobs.csv");
+    EXPECT_FALSE(cache.trace(bad).isOk());
+    EXPECT_FALSE(cache.trace(bad).isOk());
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(AssetCache, QueuesBuildTheTraceOnDemand)
+{
+    AssetCache cache;
+    const auto queues = cache.queues(
+        tinyWorkload(), 6 * kSecondsPerHour, 24 * kSecondsPerHour);
+    ASSERT_TRUE(queues.isOk());
+    // One miss for the queues entry, one for the trace it needed.
+    EXPECT_EQ(cache.misses(), 2u);
+    // The trace is now shared with direct lookups.
+    const auto trace = cache.trace(tinyWorkload());
+    ASSERT_TRUE(trace.isOk());
+    EXPECT_EQ(cache.hits(), 1u);
+
+    // Different waits -> a different calibrated config.
+    const auto other = cache.queues(
+        tinyWorkload(), 1 * kSecondsPerHour, 12 * kSecondsPerHour);
+    ASSERT_TRUE(other.isOk());
+    EXPECT_NE(queues.value().get(), other.value().get());
+}
+
+TEST(CarbonSlots, CoverHorizonPlusSlack)
+{
+    const JobTrace trace("t", {{1, 0, kSecondsPerDay, 1}});
+    const std::size_t slots =
+        carbonSlotsFor(trace, 24 * kSecondsPerHour);
+    // Horizon (1 day) + long wait (1 day) + 2 days margin.
+    EXPECT_GE(slots, 4u * 24u);
+    EXPECT_LT(slots, 6u * 24u);
+}
+
+ScenarioSpec
+tinyScenario()
+{
+    ScenarioSpec spec;
+    spec.label = "tiny";
+    spec.workload = tinyWorkload();
+    spec.carbon =
+        CarbonSpec::forRegion(Region::SouthAustralia, 0, 1);
+    spec.policy = "Carbon-Time";
+    return spec;
+}
+
+TEST(RunScenario, ProducesPlausibleResult)
+{
+    AssetCache cache;
+    const Result<SimulationResult> r =
+        runScenario(tinyScenario(), cache);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_EQ(r->outcomes.size(), 50u);
+    EXPECT_GT(r->carbon_kg, 0.0);
+    EXPECT_GT(r->totalCost(), 0.0);
+}
+
+TEST(RunScenario, IsDeterministicAcrossCaches)
+{
+    AssetCache cache1;
+    AssetCache cache2;
+    const SimulationResult a =
+        runScenario(tinyScenario(), cache1).value();
+    const SimulationResult b =
+        runScenario(tinyScenario(), cache2).value();
+    EXPECT_DOUBLE_EQ(a.carbon_kg, b.carbon_kg);
+    EXPECT_DOUBLE_EQ(a.totalCost(), b.totalCost());
+}
+
+TEST(RunScenario, UnknownPolicyIsError)
+{
+    AssetCache cache;
+    ScenarioSpec spec = tinyScenario();
+    spec.policy = "Definitely-Not-A-Policy";
+    const Result<SimulationResult> r = runScenario(spec, cache);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::NotFound);
+}
+
+TEST(RunScenario, BadWaitsAreError)
+{
+    AssetCache cache;
+    ScenarioSpec spec = tinyScenario();
+    spec.short_wait = 12 * kSecondsPerHour;
+    spec.long_wait = 6 * kSecondsPerHour;
+    EXPECT_FALSE(runScenario(spec, cache).isOk());
+}
+
+TEST(RunScenario, InvalidClusterSetupIsError)
+{
+    AssetCache cache;
+    ScenarioSpec spec = tinyScenario();
+    spec.strategy = ResourceStrategy::OnDemandOnly;
+    spec.cluster.reserved_cores = 8;
+    const Result<SimulationResult> r = runScenario(spec, cache);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_NE(r.status().message().find("OnDemandOnly"),
+              std::string::npos);
+}
+
+TEST(RunScenario, EmptyWorkloadIsFailedPrecondition)
+{
+    const std::string path =
+        ::testing::TempDir() + "empty_jobs.csv";
+    {
+        std::ofstream out(path);
+        out << "id,submit,length,cpus\n";
+    }
+    AssetCache cache;
+    ScenarioSpec spec = tinyScenario();
+    spec.workload = WorkloadSpec::fromCsv(path);
+    const Result<SimulationResult> r = runScenario(spec, cache);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::FailedPrecondition);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,121 @@
+/** @file Tests for the SweepEngine. */
+
+#include "analysis/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/time.h"
+
+namespace gaia {
+namespace {
+
+ScenarioSpec
+cell(const std::string &policy, std::uint64_t seed = 1)
+{
+    ScenarioSpec spec;
+    spec.label = policy;
+    TraceBuildOptions opt;
+    opt.job_count = 50;
+    opt.span = kSecondsPerDay;
+    opt.seed = seed;
+    spec.workload =
+        WorkloadSpec::builtin(WorkloadSource::AlibabaPai, opt);
+    spec.carbon =
+        CarbonSpec::forRegion(Region::SouthAustralia, 0, 1);
+    spec.policy = policy;
+    return spec;
+}
+
+TEST(Sweep, RunsAllCells)
+{
+    SweepEngine sweep;
+    EXPECT_EQ(sweep.add(cell("NoWait")), 0u);
+    EXPECT_EQ(sweep.add(cell("Carbon-Time")), 1u);
+    EXPECT_EQ(sweep.size(), 2u);
+    sweep.run();
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        ASSERT_TRUE(sweep.ran(i));
+        ASSERT_TRUE(sweep.result(i).isOk())
+            << sweep.result(i).status().toString();
+        EXPECT_EQ(sweep.result(i)->outcomes.size(), 50u);
+    }
+    EXPECT_EQ(sweep.failureCount(), 0u);
+}
+
+TEST(Sweep, SharedSpecsBuildAssetsOnce)
+{
+    SweepEngine sweep;
+    for (const char *policy :
+         {"NoWait", "Lowest-Window", "Carbon-Time"})
+        sweep.add(cell(policy));
+    sweep.run();
+    // One trace + one carbon + one queue config for three cells;
+    // every other lookup is served from the cache.
+    EXPECT_EQ(sweep.cache().misses(), 3u);
+    EXPECT_GT(sweep.cache().hits(), 0u);
+}
+
+TEST(Sweep, InvalidCellDoesNotKillTheSweep)
+{
+    SweepEngine sweep;
+    sweep.add(cell("NoWait"));
+    sweep.add(cell("No-Such-Policy"));
+    sweep.add(cell("Carbon-Time"));
+    sweep.run();
+    EXPECT_TRUE(sweep.result(0).isOk());
+    EXPECT_FALSE(sweep.result(1).isOk());
+    EXPECT_EQ(sweep.result(1).status().code(),
+              ErrorCode::NotFound);
+    EXPECT_TRUE(sweep.result(2).isOk());
+    EXPECT_EQ(sweep.failureCount(), 1u);
+}
+
+TEST(Sweep, ParallelMatchesSerial)
+{
+    SweepEngine serial(1);
+    SweepEngine parallel(4);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        serial.add(cell("Carbon-Time", seed));
+        parallel.add(cell("Carbon-Time", seed));
+    }
+    serial.run();
+    parallel.run();
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial.result(i).isOk());
+        ASSERT_TRUE(parallel.result(i).isOk());
+        EXPECT_DOUBLE_EQ(serial.result(i)->carbon_kg,
+                         parallel.result(i)->carbon_kg);
+        EXPECT_DOUBLE_EQ(serial.result(i)->totalCost(),
+                         parallel.result(i)->totalCost());
+    }
+}
+
+TEST(Sweep, SummaryReportsCountsAndFailures)
+{
+    SweepEngine sweep;
+    sweep.add(cell("NoWait"));
+    sweep.add(cell("Broken-Policy"));
+    sweep.run();
+    std::ostringstream out;
+    sweep.printSummary(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("2 cells"), std::string::npos);
+    EXPECT_NE(text.find("1 ok"), std::string::npos);
+    EXPECT_NE(text.find("1 failed"), std::string::npos);
+    EXPECT_NE(text.find("Broken-Policy"), std::string::npos);
+}
+
+TEST(Sweep, RerunIsIdempotent)
+{
+    SweepEngine sweep;
+    sweep.add(cell("NoWait"));
+    sweep.run();
+    const double first = sweep.result(0)->carbon_kg;
+    sweep.run();
+    EXPECT_DOUBLE_EQ(sweep.result(0)->carbon_kg, first);
+}
+
+} // namespace
+} // namespace gaia

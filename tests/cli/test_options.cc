@@ -11,8 +11,27 @@ CliOptions
 parse(const std::vector<std::string> &args)
 {
     CliOptions options;
-    EXPECT_TRUE(parseCliOptions(args, options));
+    const Result<CliAction> action = parseCliOptions(args, options);
+    EXPECT_TRUE(action.isOk()) << action.status().toString();
+    if (action.isOk())
+        EXPECT_EQ(*action, CliAction::Run);
     return options;
+}
+
+/** Parse expecting failure; returns the error status. */
+Status
+parseError(const std::vector<std::string> &args)
+{
+    CliOptions options;
+    const Result<CliAction> action = parseCliOptions(args, options);
+    EXPECT_FALSE(action.isOk());
+    return action.isOk() ? Status::ok() : action.status();
+}
+
+bool
+messageContains(const Status &status, const std::string &needle)
+{
+    return status.message().find(needle) != std::string::npos;
 }
 
 TEST(CliOptions, DefaultsMatchArtifact)
@@ -24,7 +43,7 @@ TEST(CliOptions, DefaultsMatchArtifact)
     EXPECT_EQ(o.short_wait, 6 * kSecondsPerHour);
     EXPECT_EQ(o.long_wait, 24 * kSecondsPerHour);
     EXPECT_EQ(o.reserved, 0);
-    EXPECT_EQ(o.resolvedStrategy(),
+    EXPECT_EQ(o.resolvedStrategy().value(),
               ResourceStrategy::OnDemandOnly);
 }
 
@@ -42,7 +61,7 @@ TEST(CliOptions, ParsesFullCommandLine)
     EXPECT_DOUBLE_EQ(o.span_days, 14.0);
     EXPECT_EQ(o.region, "CA-US");
     EXPECT_EQ(o.policy, "Lowest-Window");
-    EXPECT_EQ(o.resolvedStrategy(),
+    EXPECT_EQ(o.resolvedStrategy().value(),
               ResourceStrategy::SpotReserved);
     EXPECT_EQ(o.reserved, 12);
     EXPECT_DOUBLE_EQ(o.eviction_rate, 0.1);
@@ -54,21 +73,35 @@ TEST(CliOptions, ParsesFullCommandLine)
     EXPECT_DOUBLE_EQ(o.forecast_noise, 0.2);
 }
 
-TEST(CliOptions, HelpReturnsFalse)
+TEST(CliOptions, HelpShortCircuits)
 {
     CliOptions options;
-    EXPECT_FALSE(parseCliOptions({"--help"}, options));
-    EXPECT_FALSE(parseCliOptions({"-h"}, options));
+    EXPECT_EQ(parseCliOptions({"--help"}, options).value(),
+              CliAction::ShowHelp);
+    EXPECT_EQ(parseCliOptions({"-h"}, options).value(),
+              CliAction::ShowHelp);
+    // Even with malformed flags after it.
+    EXPECT_EQ(parseCliOptions({"-h", "--bogus"}, options).value(),
+              CliAction::ShowHelp);
     EXPECT_FALSE(cliUsage().empty());
+}
+
+TEST(CliOptions, ListPoliciesShortCircuits)
+{
+    CliOptions options;
+    EXPECT_EQ(parseCliOptions({"--list-policies"}, options).value(),
+              CliAction::ListPolicies);
+    EXPECT_NE(cliUsage().find("--list-policies"),
+              std::string::npos);
 }
 
 TEST(CliOptions, WaitingSpecParsing)
 {
     Seconds s = 0, l = 0;
-    parseWaitingSpec("0x0", s, l);
+    EXPECT_TRUE(parseWaitingSpec("0x0", s, l).isOk());
     EXPECT_EQ(s, 0);
     EXPECT_EQ(l, 0);
-    parseWaitingSpec("1.5x12", s, l);
+    EXPECT_TRUE(parseWaitingSpec("1.5x12", s, l).isOk());
     EXPECT_EQ(s, hours(1.5));
     EXPECT_EQ(l, hours(12));
 }
@@ -77,14 +110,24 @@ TEST(CliOptions, StrategyAliases)
 {
     CliOptions o;
     o.strategy = "RES-FIRST";
-    EXPECT_EQ(o.resolvedStrategy(),
+    EXPECT_EQ(o.resolvedStrategy().value(),
               ResourceStrategy::ReservedFirst);
     o.strategy = "OnDemand";
-    EXPECT_EQ(o.resolvedStrategy(),
+    EXPECT_EQ(o.resolvedStrategy().value(),
               ResourceStrategy::OnDemandOnly);
     o.strategy = "spot-reserved";
-    EXPECT_EQ(o.resolvedStrategy(),
+    EXPECT_EQ(o.resolvedStrategy().value(),
               ResourceStrategy::SpotReserved);
+}
+
+TEST(CliOptions, UnknownStrategyIsNotFound)
+{
+    CliOptions o;
+    o.strategy = "magic";
+    const Result<ResourceStrategy> r = o.resolvedStrategy();
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::NotFound);
+    EXPECT_TRUE(messageContains(r.status(), "unknown strategy"));
 }
 
 TEST(CliOptions, WorkloadCsvBypassesNameCheck)
@@ -94,25 +137,33 @@ TEST(CliOptions, WorkloadCsvBypassesNameCheck)
     EXPECT_EQ(o.workload_csv, "/tmp/jobs.csv");
 }
 
-TEST(CliOptionsDeath, MalformedInputIsFatal)
+TEST(CliOptions, MalformedInputYieldsErrorStatus)
 {
-    CliOptions o;
-    EXPECT_EXIT(parseCliOptions({"--bogus"}, o),
-                ::testing::ExitedWithCode(1), "unknown argument");
-    EXPECT_EXIT(parseCliOptions({"--jobs"}, o),
-                ::testing::ExitedWithCode(1), "missing value");
-    EXPECT_EXIT(parseCliOptions({"--jobs", "-5"}, o),
-                ::testing::ExitedWithCode(1), "must be positive");
-    EXPECT_EXIT(parseCliOptions({"--workload", "slurmzilla"}, o),
-                ::testing::ExitedWithCode(1), "unknown workload");
-    EXPECT_EXIT(parseCliOptions({"--strategy", "magic"}, o),
-                ::testing::ExitedWithCode(1), "unknown strategy");
-    EXPECT_EXIT(parseCliOptions({"-w", "6-24"}, o),
-                ::testing::ExitedWithCode(1), "SHORTxLONG");
-    EXPECT_EXIT(parseCliOptions({"-w", "-1x4"}, o),
-                ::testing::ExitedWithCode(1), "non-negative");
+    EXPECT_TRUE(messageContains(parseError({"--bogus"}),
+                                "unknown argument"));
+    EXPECT_TRUE(messageContains(parseError({"--jobs"}),
+                                "missing value"));
+    EXPECT_TRUE(messageContains(parseError({"--jobs", "-5"}),
+                                "must be positive"));
+    EXPECT_TRUE(
+        messageContains(parseError({"--workload", "slurmzilla"}),
+                        "unknown workload"));
+    EXPECT_TRUE(messageContains(parseError({"--strategy", "magic"}),
+                                "unknown strategy"));
+    EXPECT_TRUE(messageContains(parseError({"-w", "6-24"}),
+                                "SHORTxLONG"));
+    EXPECT_TRUE(messageContains(parseError({"-w", "-1x4"}),
+                                "non-negative"));
+    EXPECT_TRUE(messageContains(parseError({"--jobs", "lots"}),
+                                "cannot parse"));
 }
 
+TEST(CliOptions, UnknownArgumentErrorIncludesUsage)
+{
+    const Status status = parseError({"--bogus"});
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+    EXPECT_TRUE(messageContains(status, "--policy"));
+}
 
 TEST(CliOptions, NewFidelityFlags)
 {
@@ -124,19 +175,17 @@ TEST(CliOptions, NewFidelityFlags)
     EXPECT_DOUBLE_EQ(o.idle_power_fraction, 0.4);
 }
 
-TEST(CliOptionsDeath, NewFlagValidation)
+TEST(CliOptions, NewFlagValidation)
 {
-    CliOptions o;
-    EXPECT_EXIT(parseCliOptions({"--forecaster", "crystal-ball"},
-                                o),
-                ::testing::ExitedWithCode(1),
-                "unknown forecaster");
-    EXPECT_EXIT(parseCliOptions({"--idle-power-fraction", "1.5"},
-                                o),
-                ::testing::ExitedWithCode(1), "in \\[0,1\\]");
-    EXPECT_EXIT(
-        parseCliOptions({"--startup-overhead-min", "-1"}, o),
-        ::testing::ExitedWithCode(1), "non-negative");
+    EXPECT_TRUE(
+        messageContains(parseError({"--forecaster", "crystal-ball"}),
+                        "unknown forecaster"));
+    EXPECT_TRUE(
+        messageContains(parseError({"--idle-power-fraction", "1.5"}),
+                        "in [0,1]"));
+    EXPECT_TRUE(messageContains(
+        parseError({"--startup-overhead-min", "-1"}),
+        "non-negative"));
 }
 
 } // namespace

@@ -25,12 +25,20 @@ smallRun(const std::string &subdir)
     return options;
 }
 
+SimulationResult
+runOk(const CliOptions &options, RunArtifacts *artifacts = nullptr)
+{
+    Result<SimulationResult> run =
+        runFromOptions(options, artifacts);
+    EXPECT_TRUE(run.isOk()) << run.status().toString();
+    return std::move(run).value();
+}
+
 TEST(CliRunner, ProducesAllThreeArtifacts)
 {
     const CliOptions options = smallRun("gaia_cli_a");
     RunArtifacts artifacts;
-    const SimulationResult result =
-        runFromOptions(options, &artifacts);
+    const SimulationResult result = runOk(options, &artifacts);
 
     EXPECT_GT(result.outcomes.size(), 0u);
     for (const std::string &path :
@@ -60,8 +68,7 @@ TEST(CliRunner, DetailsSumToAggregate)
     CliOptions options = smallRun("gaia_cli_b");
     options.policy = "Lowest-Window";
     RunArtifacts artifacts;
-    const SimulationResult result =
-        runFromOptions(options, &artifacts);
+    const SimulationResult result = runOk(options, &artifacts);
 
     const CsvTable details = readCsv(artifacts.details_csv);
     const auto carbon = details.columnDoubles("carbon_g");
@@ -79,7 +86,7 @@ TEST(CliRunner, HybridStrategyRunsWithReserved)
     options.strategy = "res-first";
     options.reserved = 5;
     options.policy = "AllWait-Threshold";
-    const SimulationResult result = runFromOptions(options);
+    const SimulationResult result = runOk(options);
     EXPECT_GT(result.reserved_upfront, 0.0);
     EXPECT_GT(result.reserved_core_seconds, 0.0);
     std::filesystem::remove_all(options.output_dir);
@@ -89,7 +96,7 @@ TEST(CliRunner, OnDemandWithReservedFallsBackToHybrid)
 {
     CliOptions options = smallRun("gaia_cli_d");
     options.reserved = 3; // strategy stays "on-demand"
-    const SimulationResult result = runFromOptions(options);
+    const SimulationResult result = runOk(options);
     EXPECT_EQ(result.strategy, "Hybrid");
     std::filesystem::remove_all(options.output_dir);
 }
@@ -119,12 +126,12 @@ TEST(CliRunner, CsvWorkloadAndCarbonInputs)
     options.carbon_csv = carbon_path;
     options.policy = "Lowest-Slot";
     options.output_dir = (dir / "out").string();
-    const SimulationResult result = runFromOptions(options);
+    const SimulationResult result = runOk(options);
     EXPECT_EQ(result.outcomes.size(), 2u);
     std::filesystem::remove_all(dir);
 }
 
-TEST(CliRunnerDeath, EmptyWorkloadIsFatal)
+TEST(CliRunner, EmptyWorkloadIsError)
 {
     const auto dir =
         std::filesystem::temp_directory_path() / "gaia_cli_f";
@@ -136,11 +143,71 @@ TEST(CliRunnerDeath, EmptyWorkloadIsFatal)
     }
     CliOptions options;
     options.workload_csv = jobs_path;
-    EXPECT_EXIT(runFromOptions(options),
-                ::testing::ExitedWithCode(1), "empty");
+    const Result<SimulationResult> run = runFromOptions(options);
+    ASSERT_FALSE(run.isOk());
+    EXPECT_NE(run.status().message().find("empty"),
+              std::string::npos);
     std::filesystem::remove_all(dir);
 }
 
+TEST(CliRunner, MissingWorkloadCsvIsError)
+{
+    CliOptions options;
+    options.workload_csv = "/nonexistent/jobs.csv";
+    const Result<SimulationResult> run = runFromOptions(options);
+    ASSERT_FALSE(run.isOk());
+    EXPECT_NE(run.status().message().find("cannot open"),
+              std::string::npos);
+}
+
+TEST(CliRunner, MalformedCarbonCsvIsError)
+{
+    const auto dir =
+        std::filesystem::temp_directory_path() / "gaia_cli_h";
+    std::filesystem::create_directories(dir);
+    const std::string carbon_path = (dir / "carbon.csv").string();
+    {
+        CsvWriter carbon(carbon_path,
+                         {"hour", "carbon_intensity"});
+        carbon.writeRow({"0", "100.0"});
+        carbon.writeRow({"1", "not-a-number"});
+    }
+    CliOptions options = smallRun("gaia_cli_h_out");
+    options.carbon_csv = carbon_path;
+    const Result<SimulationResult> run = runFromOptions(options);
+    ASSERT_FALSE(run.isOk());
+    EXPECT_NE(run.status().message().find("cannot parse"),
+              std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CliRunner, UnknownRegionIsError)
+{
+    CliOptions options = smallRun("gaia_cli_i");
+    options.region = "Mars";
+    const Result<SimulationResult> run = runFromOptions(options);
+    ASSERT_FALSE(run.isOk());
+    EXPECT_EQ(run.status().code(), ErrorCode::NotFound);
+    EXPECT_NE(run.status().message().find("unknown region"),
+              std::string::npos);
+}
+
+TEST(CliRunner, ScenarioFromOptionsMapsFields)
+{
+    CliOptions options = smallRun("gaia_cli_j");
+    options.policy = "Lowest-Window";
+    options.strategy = "spot-res";
+    options.reserved = 7;
+    options.eviction_rate = 0.25;
+    const Result<ScenarioSpec> spec = scenarioFromOptions(options);
+    ASSERT_TRUE(spec.isOk()) << spec.status().toString();
+    EXPECT_EQ(spec->policy, "Lowest-Window");
+    EXPECT_EQ(spec->strategy, ResourceStrategy::SpotReserved);
+    EXPECT_EQ(spec->cluster.reserved_cores, 7);
+    EXPECT_DOUBLE_EQ(spec->cluster.spot_eviction_rate, 0.25);
+    EXPECT_EQ(spec->workload.kind, WorkloadSpec::Kind::Motivating);
+    EXPECT_EQ(spec->carbon.kind, CarbonSpec::Kind::RegionModel);
+}
 
 TEST(CliRunner, ResampleAppliesThePaperPipeline)
 {
@@ -164,7 +231,7 @@ TEST(CliRunner, ResampleAppliesThePaperPipeline)
     options.span_days = 20.0;
     options.region = "ON-CA";
     options.output_dir = (dir / "out").string();
-    const SimulationResult r = runFromOptions(options);
+    const SimulationResult r = runOk(options);
     EXPECT_EQ(r.outcomes.size(), 300u);
     Seconds last = 0;
     for (const JobOutcome &o : r.outcomes)
@@ -173,12 +240,15 @@ TEST(CliRunner, ResampleAppliesThePaperPipeline)
     std::filesystem::remove_all(dir);
 }
 
-TEST(CliRunnerDeath, ResampleWithoutCsvRejected)
+TEST(CliRunner, ResampleWithoutCsvRejected)
 {
     CliOptions options;
-    EXPECT_EXIT(parseCliOptions({"--resample"}, options),
-                ::testing::ExitedWithCode(1),
-                "requires --workload-csv");
+    const Result<CliAction> action =
+        parseCliOptions({"--resample"}, options);
+    ASSERT_FALSE(action.isOk());
+    EXPECT_NE(
+        action.status().message().find("requires --workload-csv"),
+        std::string::npos);
 }
 
 } // namespace

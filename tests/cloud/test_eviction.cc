@@ -100,12 +100,15 @@ TEST(Eviction, Deterministic)
     }
 }
 
-TEST(EvictionDeath, RateOutOfRangeIsFatal)
+TEST(Eviction, MakeRejectsRateOutOfRange)
 {
-    EXPECT_EXIT(EvictionModel(-0.1), ::testing::ExitedWithCode(1),
-                "eviction rate");
-    EXPECT_EXIT(EvictionModel(1.1), ::testing::ExitedWithCode(1),
-                "eviction rate");
+    for (double rate : {-0.1, 1.1}) {
+        const Result<EvictionModel> m = EvictionModel::make(rate);
+        ASSERT_FALSE(m.isOk());
+        EXPECT_NE(m.status().message().find("eviction rate"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(EvictionModel::make(0.5).isOk());
 }
 
 } // namespace

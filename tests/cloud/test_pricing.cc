@@ -61,22 +61,27 @@ TEST(PricingDeath, UsageBillingOfReservedRejected)
                  "negative usage");
 }
 
-TEST(PricingDeath, ValidateCatchesNonsense)
+TEST(Pricing, ValidateCatchesNonsense)
 {
+    const auto messageOf = [](const PricingModel &model) {
+        const Status status = model.validate();
+        EXPECT_FALSE(status.isOk());
+        return status.message();
+    };
     PricingModel p;
     p.on_demand_per_core_hour = -1.0;
-    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1),
-                "negative on-demand price");
+    EXPECT_NE(messageOf(p).find("negative on-demand price"),
+              std::string::npos);
     p = PricingModel{};
     p.reserved_fraction = 1.5;
-    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1),
-                "reserved fraction");
+    EXPECT_NE(messageOf(p).find("reserved fraction"),
+              std::string::npos);
     p = PricingModel{};
     p.spot_fraction = -0.1;
-    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1),
-                "spot fraction");
-    PricingModel ok;
-    ok.validate(); // must not exit
+    EXPECT_NE(messageOf(p).find("spot fraction"),
+              std::string::npos);
+    const PricingModel ok;
+    EXPECT_TRUE(ok.validate().isOk());
 }
 
 TEST(Energy, PowerAndEnergyConversions)

@@ -64,8 +64,7 @@ TEST(ReservedPool, ZeroCapacityPool)
 
 TEST(ReservedPoolDeath, MisuseIsFatal)
 {
-    EXPECT_EXIT(ReservedPool(-1), ::testing::ExitedWithCode(1),
-                "negative reserved capacity");
+    EXPECT_DEATH(ReservedPool(-1), "negative reserved capacity");
 
     ReservedPool pool(4);
     EXPECT_DEATH(pool.acquire(5, 0), "acquire");

@@ -1,0 +1,207 @@
+/** @file Tests for gaia::Status, gaia::Result, and the macros. */
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gaia {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    const Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::Ok);
+    EXPECT_TRUE(s.message().empty());
+    EXPECT_EQ(s.toString(), "OK");
+    EXPECT_TRUE(Status::ok().isOk());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage)
+{
+    const Status s =
+        Status::invalidArgument("bad value ", 42, " for x");
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(s.message(), "bad value 42 for x");
+    EXPECT_NE(s.toString().find("invalid-argument"),
+              std::string::npos);
+    EXPECT_NE(s.toString().find("bad value 42 for x"),
+              std::string::npos);
+}
+
+TEST(Status, FactoriesMapToCodes)
+{
+    EXPECT_EQ(Status::notFound("x").code(), ErrorCode::NotFound);
+    EXPECT_EQ(Status::parseError("x").code(),
+              ErrorCode::ParseError);
+    EXPECT_EQ(Status::failedPrecondition("x").code(),
+              ErrorCode::FailedPrecondition);
+}
+
+TEST(Status, CopiesShareThePayload)
+{
+    const Status a = Status::notFound("missing thing");
+    const Status b = a; // NOLINT: deliberate copy
+    EXPECT_EQ(b.code(), ErrorCode::NotFound);
+    EXPECT_EQ(&a.message(), &b.message());
+}
+
+TEST(Result, HoldsValue)
+{
+    const Result<int> r = 7;
+    ASSERT_TRUE(r.isOk());
+    EXPECT_TRUE(r.status().isOk());
+    EXPECT_EQ(r.value(), 7);
+    EXPECT_EQ(*r, 7);
+    EXPECT_EQ(r.valueOr(9), 7);
+}
+
+TEST(Result, HoldsError)
+{
+    const Result<int> r = Status::parseError("nope");
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::ParseError);
+    EXPECT_EQ(r.valueOr(9), 9);
+}
+
+TEST(Result, MoveOnlyPayload)
+{
+    Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(**r, 5);
+    const std::unique_ptr<int> taken = std::move(r).value();
+    ASSERT_NE(taken, nullptr);
+    EXPECT_EQ(*taken, 5);
+
+    const Result<std::unique_ptr<int>> err =
+        Status::notFound("no pointer");
+    EXPECT_FALSE(err.isOk());
+}
+
+TEST(Result, ArrowAccessesMembers)
+{
+    Result<std::string> r = std::string("abc");
+    EXPECT_EQ(r->size(), 3u);
+    r->push_back('d');
+    EXPECT_EQ(*r, "abcd");
+}
+
+TEST(ResultDeath, ValueOnErrorPanics)
+{
+    const Result<int> r = Status::invalidArgument("broken");
+    EXPECT_DEATH((void)r.value(), "value\\(\\) on error Result");
+}
+
+Status
+checkPositive(int x)
+{
+    GAIA_REQUIRE(x > 0, "x must be positive, got ", x);
+    return Status::ok();
+}
+
+Status
+tryBoth(int a, int b)
+{
+    GAIA_TRY(checkPositive(a));
+    GAIA_TRY(checkPositive(b));
+    return Status::ok();
+}
+
+TEST(Macros, RequireReturnsInvalidArgument)
+{
+    EXPECT_TRUE(checkPositive(1).isOk());
+    const Status s = checkPositive(-3);
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(s.message(), "x must be positive, got -3");
+}
+
+TEST(Macros, TryPropagatesFirstError)
+{
+    EXPECT_TRUE(tryBoth(1, 2).isOk());
+    const Status s = tryBoth(-1, -2);
+    ASSERT_FALSE(s.isOk());
+    EXPECT_NE(s.message().find("got -1"), std::string::npos);
+}
+
+Result<int>
+half(int x)
+{
+    GAIA_REQUIRE(x % 2 == 0, "odd input ", x);
+    return x / 2;
+}
+
+Result<int>
+quarter(int x)
+{
+    GAIA_TRY_ASSIGN(const int h, half(x));
+    GAIA_TRY_ASSIGN(const int q, half(h));
+    return q;
+}
+
+TEST(Macros, TryAssignUnwrapsOrPropagates)
+{
+    const Result<int> ok = quarter(8);
+    ASSERT_TRUE(ok.isOk());
+    EXPECT_EQ(*ok, 2);
+    const Result<int> bad = quarter(6); // 6/2 = 3 is odd
+    ASSERT_FALSE(bad.isOk());
+    EXPECT_NE(bad.status().message().find("odd input 3"),
+              std::string::npos);
+}
+
+Result<std::unique_ptr<int>>
+makeBox(int x)
+{
+    GAIA_REQUIRE(x >= 0, "negative box");
+    return std::make_unique<int>(x);
+}
+
+Result<int>
+unbox(int x)
+{
+    GAIA_TRY_ASSIGN(const std::unique_ptr<int> box, makeBox(x));
+    return *box;
+}
+
+TEST(Macros, TryAssignMovesMoveOnlyPayloads)
+{
+    const Result<int> ok = unbox(4);
+    ASSERT_TRUE(ok.isOk());
+    EXPECT_EQ(*ok, 4);
+    EXPECT_FALSE(unbox(-1).isOk());
+}
+
+TEST(Macros, TryAssignIntoExistingVariable)
+{
+    const auto assignTwice = [](int a, int b) -> Result<int> {
+        int h = 0;
+        GAIA_TRY_ASSIGN(h, half(a));
+        int sum = h;
+        GAIA_TRY_ASSIGN(h, half(b));
+        return sum + h;
+    };
+    const Result<int> r = assignTwice(4, 10);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(*r, 7);
+    EXPECT_FALSE(assignTwice(4, 9).isOk());
+}
+
+TEST(Status, CodeNamesAreStable)
+{
+    EXPECT_EQ(errorCodeName(ErrorCode::Ok), "ok");
+    EXPECT_EQ(errorCodeName(ErrorCode::InvalidArgument),
+              "invalid-argument");
+    EXPECT_EQ(errorCodeName(ErrorCode::NotFound), "not-found");
+    EXPECT_EQ(errorCodeName(ErrorCode::ParseError), "parse-error");
+    EXPECT_EQ(errorCodeName(ErrorCode::FailedPrecondition),
+              "failed-precondition");
+}
+
+} // namespace
+} // namespace gaia

@@ -42,7 +42,7 @@ TEST(ArtifactWorkflow, ExampleOneCostAndCarbonAgnostic)
     options.policy = "NoWait";
     parseWaitingSpec("0x0", options.short_wait,
                      options.long_wait);
-    const SimulationResult r = runFromOptions(options);
+    const SimulationResult r = runFromOptions(options).value();
     EXPECT_DOUBLE_EQ(r.meanWaitingHours(), 0.0);
     EXPECT_NEAR(r.carbon_kg, r.carbon_nowait_kg, 1e-9);
     std::filesystem::remove_all(options.output_dir);
@@ -53,12 +53,12 @@ TEST(ArtifactWorkflow, ExampleTwoLowestCarbonWindow)
     // A.5 example 2: lowest carbon window with 6x24 waiting.
     CliOptions agnostic = baseOptions("aw_example2a");
     agnostic.policy = "NoWait";
-    const SimulationResult nowait = runFromOptions(agnostic);
+    const SimulationResult nowait = runFromOptions(agnostic).value();
 
     CliOptions aware = baseOptions("aw_example2b");
     aware.policy = "Lowest-Window";
     parseWaitingSpec("6x24", aware.short_wait, aware.long_wait);
-    const SimulationResult lw = runFromOptions(aware);
+    const SimulationResult lw = runFromOptions(aware).value();
 
     // The artifact's core relationship: carbon-aware waits, saves.
     EXPECT_LT(lw.carbon_kg, nowait.carbon_kg);
@@ -76,13 +76,13 @@ TEST(ArtifactWorkflow, HybridRunMatchesFigureTenOrdering)
     allwait.policy = "AllWait-Threshold";
     allwait.strategy = "res-first";
     allwait.reserved = 12;
-    const SimulationResult cheap = runFromOptions(allwait);
+    const SimulationResult cheap = runFromOptions(allwait).value();
 
     CliOptions ct = baseOptions("aw_fig10b");
     ct.policy = "Carbon-Time";
     ct.strategy = "hybrid";
     ct.reserved = 12;
-    const SimulationResult green = runFromOptions(ct);
+    const SimulationResult green = runFromOptions(ct).value();
 
     EXPECT_LT(cheap.totalCost(), green.totalCost());
     EXPECT_LT(green.carbon_kg, cheap.carbon_kg);
@@ -95,7 +95,7 @@ TEST(ArtifactWorkflow, OutputFilesAreWellFormed)
     CliOptions options = baseOptions("aw_outputs");
     options.policy = "Carbon-Time";
     RunArtifacts artifacts;
-    const SimulationResult r = runFromOptions(options, &artifacts);
+    const SimulationResult r = runFromOptions(options, &artifacts).value();
 
     // details.csv rows reconcile with the aggregate.
     const CsvTable details = readCsv(artifacts.details_csv);
@@ -124,12 +124,12 @@ TEST(ArtifactWorkflow, ForecasterFlagChangesPlansNotAccounting)
 {
     CliOptions oracle = baseOptions("aw_fc1");
     oracle.policy = "Lowest-Window";
-    const SimulationResult a = runFromOptions(oracle);
+    const SimulationResult a = runFromOptions(oracle).value();
 
     CliOptions persistence = baseOptions("aw_fc2");
     persistence.policy = "Lowest-Window";
     persistence.forecaster = "persistence";
-    const SimulationResult b = runFromOptions(persistence);
+    const SimulationResult b = runFromOptions(persistence).value();
 
     // Same jobs, same trace: identical counterfactual carbon
     // (accounting is forecast-independent), different schedules.

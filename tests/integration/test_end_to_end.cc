@@ -58,9 +58,9 @@ TEST(EndToEnd, TraceCsvRoundTripPreservesResults)
     carbon.toCsv(carbon_path);
 
     const JobTrace trace2 =
-        JobTrace::fromCsv(job_path, trace.name());
+        JobTrace::fromCsv(job_path, trace.name()).value();
     const CarbonTrace carbon2 =
-        CarbonTrace::fromCsv(carbon_path, carbon.region());
+        CarbonTrace::fromCsv(carbon_path, carbon.region()).value();
     const CarbonInfoService cis2(carbon2);
 
     const SimulationResult a =

@@ -23,29 +23,48 @@ TEST(Cluster, StrategyNames)
 
 TEST(Cluster, DefaultConfigIsValid)
 {
-    ClusterConfig config;
-    config.validate();
-    SUCCEED();
+    const ClusterConfig config;
+    EXPECT_TRUE(config.validate().isOk());
 }
 
-TEST(ClusterDeath, ValidationCatchesBadSettings)
+TEST(Cluster, ValidationCatchesBadSettings)
 {
+    const auto messageOf = [](const ClusterConfig &c) {
+        const Status status = c.validate();
+        EXPECT_FALSE(status.isOk());
+        return status.message();
+    };
     ClusterConfig config;
     config.reserved_cores = -1;
-    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
-                "negative reserved core count");
+    EXPECT_NE(messageOf(config).find("negative reserved core count"),
+              std::string::npos);
     config = ClusterConfig{};
     config.spot_eviction_rate = 2.0;
-    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
-                "eviction rate");
+    EXPECT_NE(messageOf(config).find("eviction rate"),
+              std::string::npos);
     config = ClusterConfig{};
     config.spot_max_length = -5;
-    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
-                "spot length bound");
+    EXPECT_NE(messageOf(config).find("spot length bound"),
+              std::string::npos);
     config = ClusterConfig{};
     config.reservation_horizon = -1;
-    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
-                "reservation horizon");
+    EXPECT_NE(messageOf(config).find("reservation horizon"),
+              std::string::npos);
+}
+
+TEST(Cluster, SetupValidationRejectsOnDemandWithReserved)
+{
+    ClusterConfig config;
+    config.reserved_cores = 4;
+    EXPECT_TRUE(
+        validateClusterSetup(config,
+                             ResourceStrategy::HybridGreedy)
+            .isOk());
+    const Status status = validateClusterSetup(
+        config, ResourceStrategy::OnDemandOnly);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("OnDemandOnly"),
+              std::string::npos);
 }
 
 TEST(Cluster, DefaultReservationHorizon)

@@ -89,12 +89,14 @@ TEST(IdlePower, IdleCarbonFollowsIntensityTiming)
     EXPECT_NEAR(b.idle_carbon_kg, 0.005 * 1010.0 / 1000.0, 1e-12);
 }
 
-TEST(IdlePowerDeath, FractionOutOfRange)
+TEST(IdlePower, FractionOutOfRangeIsError)
 {
     ClusterConfig cluster;
     cluster.reserved_idle_power_fraction = 1.5;
-    EXPECT_EXIT(cluster.validate(), ::testing::ExitedWithCode(1),
-                "idle power fraction");
+    const Status status = cluster.validate();
+    ASSERT_FALSE(status.isOk());
+    EXPECT_NE(status.message().find("idle power fraction"),
+              std::string::npos);
 }
 
 } // namespace

@@ -120,18 +120,58 @@ TEST(CarbonTrace, CsvRoundTrip)
 {
     const std::string path = ::testing::TempDir() + "carbon.csv";
     makeTrace().toCsv(path);
-    const CarbonTrace back = CarbonTrace::fromCsv(path, "test");
-    ASSERT_EQ(back.slotCount(), 4u);
-    EXPECT_DOUBLE_EQ(back.atSlot(3), 400.0);
+    const Result<CarbonTrace> back =
+        CarbonTrace::fromCsv(path, "test");
+    ASSERT_TRUE(back.isOk()) << back.status().toString();
+    ASSERT_EQ(back->slotCount(), 4u);
+    EXPECT_DOUBLE_EQ(back->atSlot(3), 400.0);
     std::remove(path.c_str());
 }
 
-TEST(CarbonTraceDeath, InvalidConstruction)
+TEST(CarbonTrace, MakeRejectsInvalidValues)
 {
-    EXPECT_EXIT(CarbonTrace("x", {}), ::testing::ExitedWithCode(1),
-                "no slots");
-    EXPECT_EXIT(CarbonTrace("x", {1.0, -2.0}),
-                ::testing::ExitedWithCode(1), "invalid intensity");
+    EXPECT_FALSE(CarbonTrace::make("x", {}).isOk());
+    const Result<CarbonTrace> negative =
+        CarbonTrace::make("x", {1.0, -2.0});
+    ASSERT_FALSE(negative.isOk());
+    EXPECT_EQ(negative.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(negative.status().message().find("invalid intensity"),
+              std::string::npos);
+    EXPECT_TRUE(CarbonTrace::make("x", {1.0, 2.0}).isOk());
+}
+
+TEST(CarbonTrace, FromCsvReportsMalformedInput)
+{
+    EXPECT_FALSE(
+        CarbonTrace::fromCsv("/nonexistent/carbon.csv", "x")
+            .isOk());
+
+    const std::string path =
+        ::testing::TempDir() + "carbon_bad.csv";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("hour,carbon_intensity\n0,100\n1,banana\n", f);
+        std::fclose(f);
+    }
+    const Result<CarbonTrace> bad =
+        CarbonTrace::fromCsv(path, "x");
+    ASSERT_FALSE(bad.isOk());
+    EXPECT_NE(bad.status().message().find("cannot parse"),
+              std::string::npos);
+
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("hour,watts\n0,100\n", f);
+        std::fclose(f);
+    }
+    const Result<CarbonTrace> missing =
+        CarbonTrace::fromCsv(path, "x");
+    ASSERT_FALSE(missing.isOk());
+    EXPECT_NE(missing.status().message().find("carbon_intensity"),
+              std::string::npos);
+    std::remove(path.c_str());
 }
 
 TEST(CarbonTraceDeath, InvalidQueries)

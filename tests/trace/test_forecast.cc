@@ -82,13 +82,19 @@ TEST(Profile, ColdStartDoesNotCrash)
     EXPECT_GT(p, 0.0);
 }
 
-TEST(ProfileDeath, InvalidParameters)
+TEST(Profile, MakeRejectsInvalidParameters)
 {
-    EXPECT_EXIT(DiurnalProfileForecaster(0, 0.3),
-                ::testing::ExitedWithCode(1), "window");
-    EXPECT_EXIT(DiurnalProfileForecaster(7, 1.5),
-                ::testing::ExitedWithCode(1),
-                "persistence weight");
+    const Result<DiurnalProfileForecaster> window =
+        DiurnalProfileForecaster::make(0, 0.3);
+    ASSERT_FALSE(window.isOk());
+    EXPECT_NE(window.status().message().find("window"),
+              std::string::npos);
+    const Result<DiurnalProfileForecaster> weight =
+        DiurnalProfileForecaster::make(7, 1.5);
+    ASSERT_FALSE(weight.isOk());
+    EXPECT_NE(weight.status().message().find("persistence weight"),
+              std::string::npos);
+    EXPECT_TRUE(DiurnalProfileForecaster::make(7, 0.3).isOk());
 }
 
 TEST(Evaluate, ZeroErrorOnPeriodicTrace)

@@ -20,12 +20,15 @@ TEST(PriceTrace, AccessorsAndClamping)
     EXPECT_DOUBLE_EQ(p.atSlot(-1), 10.0);
 }
 
-TEST(PriceTraceDeath, InvalidConstruction)
+TEST(PriceTrace, MakeRejectsInvalidValues)
 {
-    EXPECT_EXIT(PriceTrace("m", {}), ::testing::ExitedWithCode(1),
-                "no slots");
-    EXPECT_EXIT(PriceTrace("m", {1.0, -2.0}),
-                ::testing::ExitedWithCode(1), "invalid price");
+    EXPECT_FALSE(PriceTrace::make("m", {}).isOk());
+    const Result<PriceTrace> negative =
+        PriceTrace::make("m", {1.0, -2.0});
+    ASSERT_FALSE(negative.isOk());
+    EXPECT_NE(negative.status().message().find("invalid price"),
+              std::string::npos);
+    EXPECT_TRUE(PriceTrace::make("m", {1.0, 2.0}).isOk());
 }
 
 TEST(ErcotModel, Deterministic)

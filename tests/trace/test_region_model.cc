@@ -28,14 +28,20 @@ TEST(RegionModel, NamesRoundTrip)
          {Region::SouthAustralia, Region::OntarioCanada,
           Region::CaliforniaUS, Region::Netherlands,
           Region::KentuckyUS, Region::Sweden, Region::TexasUS}) {
-        EXPECT_EQ(regionFromName(regionName(r)), r);
+        EXPECT_EQ(regionFromName(regionName(r)).value(), r);
     }
 }
 
-TEST(RegionModelDeath, UnknownNameIsFatal)
+TEST(RegionModel, UnknownNameIsNotFound)
 {
-    EXPECT_EXIT(regionFromName("Mars"), ::testing::ExitedWithCode(1),
-                "unknown region");
+    const Result<Region> r = regionFromName("Mars");
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::NotFound);
+    EXPECT_NE(r.status().message().find("unknown region"),
+              std::string::npos);
+    // The error lists the known names to guide the user.
+    EXPECT_NE(r.status().message().find("SA-AU"),
+              std::string::npos);
 }
 
 TEST(RegionModel, EvaluationRegionsMatchPaper)

@@ -24,8 +24,8 @@ TEST(Generators, BuildTraceDeterministic)
     TraceBuildOptions opt;
     opt.job_count = 200;
     opt.seed = 5;
-    const JobTrace a = buildTrace(WorkloadSource::AlibabaPai, opt);
-    const JobTrace b = buildTrace(WorkloadSource::AlibabaPai, opt);
+    const JobTrace a = buildTrace(WorkloadSource::AlibabaPai, opt).value();
+    const JobTrace b = buildTrace(WorkloadSource::AlibabaPai, opt).value();
     ASSERT_EQ(a.jobCount(), b.jobCount());
     for (std::size_t i = 0; i < a.jobCount(); ++i) {
         EXPECT_EQ(a.job(i).submit, b.job(i).submit);
@@ -42,7 +42,7 @@ TEST(Generators, FiltersAreRespected)
     opt.max_length = kSecondsPerDay;
     opt.max_cpus = 8;
     opt.seed = 6;
-    const JobTrace t = buildTrace(WorkloadSource::AlibabaPai, opt);
+    const JobTrace t = buildTrace(WorkloadSource::AlibabaPai, opt).value();
     EXPECT_EQ(t.jobCount(), 500u);
     for (const Job &j : t.jobs()) {
         EXPECT_GE(j.length, opt.min_length);
@@ -53,15 +53,32 @@ TEST(Generators, FiltersAreRespected)
     }
 }
 
-TEST(GeneratorsDeath, UnsatisfiableFilterIsFatal)
+TEST(Generators, UnsatisfiableFilterIsError)
 {
     TraceBuildOptions opt;
     opt.job_count = 10;
     opt.min_length = 1;
     opt.max_length = 2; // essentially no job is 1-2 seconds long
     opt.seed = 7;
-    EXPECT_EXIT(buildTrace(WorkloadSource::MustangHpc, opt),
-                ::testing::ExitedWithCode(1), "unsatisfiable");
+    const Result<JobTrace> t =
+        buildTrace(WorkloadSource::MustangHpc, opt);
+    ASSERT_FALSE(t.isOk());
+    EXPECT_EQ(t.status().code(), ErrorCode::FailedPrecondition);
+    EXPECT_NE(t.status().message().find("unsatisfiable"),
+              std::string::npos);
+}
+
+TEST(Generators, InvalidOptionsAreError)
+{
+    TraceBuildOptions opt;
+    opt.job_count = 0;
+    EXPECT_FALSE(
+        buildTrace(WorkloadSource::AlibabaPai, opt).isOk());
+    opt.job_count = 10;
+    opt.min_length = 100;
+    opt.max_length = 50;
+    EXPECT_FALSE(
+        buildTrace(WorkloadSource::AlibabaPai, opt).isOk());
 }
 
 TEST(Generators, ArrivalsAreSortedAndSpanTheWindow)
@@ -70,7 +87,7 @@ TEST(Generators, ArrivalsAreSortedAndSpanTheWindow)
     opt.job_count = 2000;
     opt.span = kSecondsPerWeek;
     opt.seed = 8;
-    const JobTrace t = buildTrace(WorkloadSource::AzureVm, opt);
+    const JobTrace t = buildTrace(WorkloadSource::AzureVm, opt).value();
     Seconds prev = 0;
     for (const Job &j : t.jobs()) {
         EXPECT_GE(j.submit, prev);
@@ -86,7 +103,7 @@ TEST(Generators, MustangLengthsCappedAtSixteenHours)
     TraceBuildOptions opt;
     opt.job_count = 3000;
     opt.seed = 9;
-    const JobTrace t = buildTrace(WorkloadSource::MustangHpc, opt);
+    const JobTrace t = buildTrace(WorkloadSource::MustangHpc, opt).value();
     for (const Job &j : t.jobs())
         EXPECT_LE(j.length, 16 * kSecondsPerHour);
 }
@@ -98,7 +115,7 @@ TEST(Generators, AlibabaShortJobShareMatchesPaper)
     TraceBuildOptions opt;
     opt.job_count = 20000;
     opt.seed = 10;
-    const JobTrace t = buildTrace(WorkloadSource::AlibabaPai, opt);
+    const JobTrace t = buildTrace(WorkloadSource::AlibabaPai, opt).value();
     std::size_t under_hour = 0;
     for (const Job &j : t.jobs())
         under_hour += j.length < kSecondsPerHour;
@@ -139,7 +156,7 @@ TEST_P(DemandCalibration, YearTraceMeanDemandInBand)
     opt.job_count = 20000;
     opt.span = kSecondsPerYear / 5;
     opt.seed = 11;
-    const JobTrace t = buildTrace(c.source, opt);
+    const JobTrace t = buildTrace(c.source, opt).value();
     const double demand = t.meanDemand();
     EXPECT_GT(demand, c.lo);
     EXPECT_LT(demand, c.hi);
@@ -168,9 +185,9 @@ TEST(Generators, DemandVariabilityOrdering)
     opt.span = kSecondsPerYear / 5;
     opt.seed = 12;
     const double cov_mustang =
-        demandStats(buildTrace(WorkloadSource::MustangHpc, opt)).cov;
+        demandStats(buildTrace(WorkloadSource::MustangHpc, opt).value()).cov;
     const double cov_azure =
-        demandStats(buildTrace(WorkloadSource::AzureVm, opt)).cov;
+        demandStats(buildTrace(WorkloadSource::AzureVm, opt).value()).cov;
     EXPECT_GT(cov_mustang, cov_azure);
     EXPECT_LT(cov_azure, 0.5);
 }
@@ -217,7 +234,7 @@ TEST(Generators, YearTraceSmokeViaSmallerSample)
     opt.job_count = 1000;
     opt.span = kSecondsPerYear;
     opt.seed = 1;
-    const JobTrace t = buildTrace(WorkloadSource::AlibabaPai, opt);
+    const JobTrace t = buildTrace(WorkloadSource::AlibabaPai, opt).value();
     EXPECT_EQ(t.jobCount(), 1000u);
     EXPECT_LT(t.lastArrival(), kSecondsPerYear);
 }

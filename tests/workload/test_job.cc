@@ -85,23 +85,57 @@ TEST(JobTrace, CsvRoundTrip)
 {
     const std::string path = ::testing::TempDir() + "jobs.csv";
     makeTrace().toCsv(path);
-    const JobTrace back = JobTrace::fromCsv(path, "t");
-    ASSERT_EQ(back.jobCount(), 3u);
-    EXPECT_EQ(back.job(0).id, 1);
-    EXPECT_EQ(back.job(0).length, 3600);
-    EXPECT_EQ(back.job(2).cpus, 4);
+    const Result<JobTrace> back = JobTrace::fromCsv(path, "t");
+    ASSERT_TRUE(back.isOk()) << back.status().toString();
+    ASSERT_EQ(back->jobCount(), 3u);
+    EXPECT_EQ(back->job(0).id, 1);
+    EXPECT_EQ(back->job(0).length, 3600);
+    EXPECT_EQ(back->job(2).cpus, 4);
     std::remove(path.c_str());
 }
 
-TEST(JobTraceDeath, InvalidJobsRejected)
+TEST(JobTrace, MakeRejectsInvalidJobs)
 {
-    EXPECT_EXIT(JobTrace("x", {{1, -5, 10, 1}}),
-                ::testing::ExitedWithCode(1), "negative submit");
-    EXPECT_EXIT(JobTrace("x", {{1, 0, 0, 1}}),
-                ::testing::ExitedWithCode(1), "non-positive length");
-    EXPECT_EXIT(JobTrace("x", {{1, 0, 10, 0}}),
-                ::testing::ExitedWithCode(1),
-                "non-positive cpu demand");
+    const auto expectError = [](const Job &job,
+                                const std::string &needle) {
+        const Result<JobTrace> t = JobTrace::make("x", {job});
+        ASSERT_FALSE(t.isOk());
+        EXPECT_EQ(t.status().code(), ErrorCode::InvalidArgument);
+        EXPECT_NE(t.status().message().find(needle),
+                  std::string::npos)
+            << t.status().toString();
+    };
+    expectError({1, -5, 10, 1}, "negative submit");
+    expectError({1, 0, 0, 1}, "non-positive length");
+    expectError({1, 0, 10, 0}, "non-positive cpu demand");
+    EXPECT_TRUE(JobTrace::make("x", {{1, 0, 10, 1}}).isOk());
+}
+
+TEST(JobTrace, FromCsvReportsMalformedInput)
+{
+    EXPECT_FALSE(
+        JobTrace::fromCsv("/nonexistent/jobs.csv", "t").isOk());
+
+    const std::string path = ::testing::TempDir() + "jobs_bad.csv";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("id,submit,length,cpus\n1,0,oops,1\n", f);
+        std::fclose(f);
+    }
+    const Result<JobTrace> bad = JobTrace::fromCsv(path, "t");
+    ASSERT_FALSE(bad.isOk());
+    EXPECT_NE(bad.status().message().find("cannot parse"),
+              std::string::npos);
+
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("id,submit,length,cpus\n1,0,-20,1\n", f);
+        std::fclose(f);
+    }
+    EXPECT_FALSE(JobTrace::fromCsv(path, "t").isOk());
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -53,7 +53,7 @@ TEST(Resampler, SampleDrawsFromSourceDistribution)
 {
     const JobTrace source = smallTrace();
     const JobTrace sampled =
-        sampleTrace(source, 3000, kSecondsPerWeek, 3);
+        sampleTrace(source, 3000, kSecondsPerWeek, 3).value();
     EXPECT_EQ(sampled.jobCount(), 3000u);
     for (const Job &j : sampled.jobs()) {
         // Every sampled (length, cpus) pair exists in the source.
@@ -75,8 +75,10 @@ TEST(Resampler, SampleDrawsFromSourceDistribution)
 TEST(Resampler, SampleIsDeterministic)
 {
     const JobTrace source = smallTrace();
-    const JobTrace a = sampleTrace(source, 50, kSecondsPerDay, 9);
-    const JobTrace b = sampleTrace(source, 50, kSecondsPerDay, 9);
+    const JobTrace a =
+        sampleTrace(source, 50, kSecondsPerDay, 9).value();
+    const JobTrace b =
+        sampleTrace(source, 50, kSecondsPerDay, 9).value();
     for (std::size_t i = 0; i < 50; ++i) {
         EXPECT_EQ(a.job(i).submit, b.job(i).submit);
         EXPECT_EQ(a.job(i).length, b.job(i).length);
@@ -103,7 +105,7 @@ TEST(Resampler, BuildFromTraceFullPipeline)
     }
     const JobTrace month("month", std::move(jobs));
     const JobTrace year =
-        buildFromTrace(month, 5000, kSecondsPerYear, 7);
+        buildFromTrace(month, 5000, kSecondsPerYear, 7).value();
     EXPECT_EQ(year.jobCount(), 5000u);
     EXPECT_GT(year.lastArrival(), 300 * kSecondsPerDay);
     for (const Job &j : year.jobs()) {
@@ -122,24 +124,35 @@ TEST(Resampler, BuildFromTraceAppliesFilters)
                  {3, 0, 4 * kSecondsPerDay, 1},      // > 3 days
              });
     const JobTrace out =
-        buildFromTrace(source, 500, kSecondsPerWeek, 5);
+        buildFromTrace(source, 500, kSecondsPerWeek, 5).value();
     for (const Job &j : out.jobs())
         EXPECT_EQ(j.length, kSecondsPerHour);
 }
 
-TEST(ResamplerDeath, InvalidInputs)
+TEST(ResamplerDeath, InvariantViolationsAbort)
 {
     const JobTrace source = smallTrace();
-    const JobTrace empty("e", {});
     EXPECT_DEATH(replicateTrace(source, 0), "must be >= 1");
-    EXPECT_EXIT(sampleTrace(empty, 10, 100, 1),
-                ::testing::ExitedWithCode(1), "empty trace");
     EXPECT_DEATH(normalizeDemand(source, 0.0), "must be positive");
-    EXPECT_EXIT(buildFromTrace(
-                    JobTrace("s", {{1, 0, 10, 1}}), 10,
-                    kSecondsPerDay, 1),
-                ::testing::ExitedWithCode(1),
-                "no jobs inside the length filters");
+}
+
+TEST(Resampler, BadInputsAreErrors)
+{
+    const JobTrace empty("e", {});
+    const Result<JobTrace> from_empty =
+        sampleTrace(empty, 10, 100, 1);
+    ASSERT_FALSE(from_empty.isOk());
+    EXPECT_EQ(from_empty.status().code(),
+              ErrorCode::FailedPrecondition);
+    EXPECT_NE(from_empty.status().message().find("empty trace"),
+              std::string::npos);
+
+    const Result<JobTrace> filtered_out = buildFromTrace(
+        JobTrace("s", {{1, 0, 10, 1}}), 10, kSecondsPerDay, 1);
+    ASSERT_FALSE(filtered_out.isOk());
+    EXPECT_NE(filtered_out.status().message().find(
+                  "no jobs inside the length filters"),
+              std::string::npos);
 }
 
 } // namespace

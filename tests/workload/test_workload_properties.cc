@@ -17,7 +17,7 @@ sample(WorkloadSource source, std::uint64_t seed,
     options.job_count = count;
     options.span = kSecondsPerYear / 10;
     options.seed = seed;
-    return buildTrace(source, options);
+    return buildTrace(source, options).value();
 }
 
 /** Max CDF distance between two samples at fixed probe points. */
