@@ -12,8 +12,11 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/parallel.h"
@@ -69,6 +72,98 @@ banner(const std::string &figure, const std::string &description)
               << "########################################"
                  "########################\n";
 }
+
+/**
+ * Minimal ordered JSON emitter for BENCH_*.json machine-readable
+ * bench reports: flat top-level fields plus one level of named
+ * sections, written in insertion order so diffs stay readable.
+ */
+class JsonReport
+{
+  public:
+    void set(const std::string &key, double value)
+    {
+        fields_.emplace_back(key, number(value));
+    }
+
+    void set(const std::string &key, const std::string &value)
+    {
+        fields_.emplace_back(key, quote(value));
+    }
+
+    /** Set `key` inside section `name` (created on first use). */
+    void setIn(const std::string &name, const std::string &key,
+               double value)
+    {
+        sectionFor(name).emplace_back(key, number(value));
+    }
+
+    void writeTo(const std::string &path) const
+    {
+        std::ofstream out(path, std::ios::trunc);
+        if (!out.good()) {
+            std::cerr << "cannot write " << path << "\n";
+            return;
+        }
+        out << "{\n";
+        bool first = true;
+        for (const auto &[key, value] : fields_) {
+            out << (first ? "" : ",\n") << "  " << quote(key)
+                << ": " << value;
+            first = false;
+        }
+        for (const auto &[name, fields] : sections_) {
+            out << (first ? "" : ",\n") << "  " << quote(name)
+                << ": {\n";
+            first = false;
+            for (std::size_t i = 0; i < fields.size(); ++i) {
+                out << "    " << quote(fields[i].first) << ": "
+                    << fields[i].second
+                    << (i + 1 < fields.size() ? ",\n" : "\n");
+            }
+            out << "  }";
+        }
+        out << "\n}\n";
+        std::cout << "Wrote " << path << "\n";
+    }
+
+  private:
+    using Fields =
+        std::vector<std::pair<std::string, std::string>>;
+
+    static std::string number(double value)
+    {
+        std::ostringstream oss;
+        oss.precision(6);
+        oss << value;
+        return oss.str();
+    }
+
+    static std::string quote(const std::string &text)
+    {
+        std::string out = "\"";
+        for (char c : text) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        out += '"';
+        return out;
+    }
+
+    Fields &sectionFor(const std::string &name)
+    {
+        for (auto &[existing, fields] : sections_) {
+            if (existing == name)
+                return fields;
+        }
+        sections_.emplace_back(name, Fields{});
+        return sections_.back().second;
+    }
+
+    Fields fields_;
+    std::vector<std::pair<std::string, Fields>> sections_;
+};
 
 /** Hourly slot count for a year-long run plus scheduling margin. */
 inline std::size_t

@@ -36,9 +36,15 @@ main()
     cluster.reserved_cores = 4;
     const PolicyPtr policy = makePolicy("Carbon-Time");
 
-    OnlineScheduler scheduler(*policy, queues, cis, cluster,
-                              ResourceStrategy::ReservedFirst,
-                              "live-demo");
+    Result<OnlineScheduler> created = OnlineScheduler::create(
+        *policy, queues, cis, cluster,
+        ResourceStrategy::ReservedFirst, "live-demo");
+    if (!created.isOk()) {
+        std::cerr << "bad cluster setup: "
+                  << created.status().message() << "\n";
+        return 1;
+    }
+    OnlineScheduler scheduler = std::move(created).value();
 
     // A day of arrivals, streamed one at a time.
     Rng rng(7);
@@ -62,7 +68,11 @@ main()
         scheduler.advanceTo(job.submit);
         const std::size_t before = scheduler.pendingJobs();
         const int busy_before = scheduler.reservedCoresInUse();
-        scheduler.submit(job);
+        const Status submitted = scheduler.submit(job);
+        if (!submitted.isOk()) {
+            std::cerr << "rejected: " << submitted.message() << "\n";
+            continue;
+        }
         scheduler.advanceTo(job.submit); // process the arrival
 
         std::cout << "[" << formatDuration(job.submit) << "] job "

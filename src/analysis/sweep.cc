@@ -1,5 +1,6 @@
 #include "analysis/sweep.h"
 
+#include <chrono>
 #include <ostream>
 
 #include "analysis/parallel.h"
@@ -25,6 +26,7 @@ SweepEngine::spec(std::size_t index) const
 void
 SweepEngine::run()
 {
+    const auto begin = std::chrono::steady_clock::now();
     results_.assign(specs_.size(), std::nullopt);
     parallelFor(
         specs_.size(),
@@ -32,6 +34,10 @@ SweepEngine::run()
             results_[i] = runScenario(specs_[i], cache_);
         },
         threads_);
+    last_run_seconds_ =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - begin)
+            .count();
 }
 
 bool

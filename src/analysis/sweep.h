@@ -56,6 +56,9 @@ class SweepEngine
     /** Whether run() has completed for cell `index`. */
     bool ran(std::size_t index) const;
 
+    /** Wall-clock seconds the most recent run() took (0 before). */
+    double lastRunSeconds() const { return last_run_seconds_; }
+
     /** Cell outcome; panics unless run() completed for `index`. */
     const Result<SimulationResult> &result(std::size_t index) const;
 
@@ -74,6 +77,7 @@ class SweepEngine
 
   private:
     unsigned threads_ = 0;
+    double last_run_seconds_ = 0.0;
     std::vector<ScenarioSpec> specs_;
     /** nullopt until run() fills the slot (Result has no default). */
     std::vector<std::optional<Result<SimulationResult>>> results_;

@@ -48,6 +48,46 @@ class RunningStats
 };
 
 /**
+ * Error-free transformation: s = fl(a + b) and the exact rounding
+ * error e such that a + b == s + e (Knuth two-sum, no requirement
+ * on |a| vs |b|).
+ */
+inline void
+twoSum(double a, double b, double &s, double &e)
+{
+    s = a + b;
+    const double bv = s - a;
+    e = (a - (s - bv)) + (b - bv);
+}
+
+/**
+ * Compensated (double-double) accumulator: the running sum is kept
+ * as a non-overlapping hi + lo pair, so totals are exact to well
+ * below one ulp regardless of term count or ordering. Used for the
+ * carbon prefix-sum tables, where exact sums preserve policy
+ * tie-breaks between equal-intensity windows.
+ */
+struct CompensatedSum
+{
+    double hi = 0.0;
+    double lo = 0.0;
+
+    void add(double term)
+    {
+        double s, e;
+        twoSum(hi, term, s, e);
+        e += lo;
+        // Fast renormalization (|s| >= |e| here): keeps the pair
+        // non-overlapping so later adds stay accurate.
+        hi = s + e;
+        lo = e - (hi - s);
+    }
+
+    /** Round the accumulated sum to the nearest double. */
+    double round() const { return hi + lo; }
+};
+
+/**
  * Percentile of a sample using linear interpolation between closest
  * ranks. `p` in [0, 100]. The input is copied and sorted.
  */

@@ -90,6 +90,12 @@ CarbonInfoService::forecastMinSlot(Seconds now, Seconds from,
                                    Seconds to) const
 {
     GAIA_ASSERT(from < to, "forecastMinSlot: empty window");
+    if (noise_ <= 0.0 && forecaster_ == nullptr) {
+        // Perfect forecasts read trace truth slot for slot, so the
+        // trace's O(1) sparse-table argmin answers the query with
+        // the same first-win tie-breaking as the scan below.
+        return trace_.minSlotIn(from, to);
+    }
     const SlotIndex first = slotOf(std::max<Seconds>(from, 0));
     const SlotIndex last = slotOf(std::max<Seconds>(to - 1, 0));
     SlotIndex best = first;

@@ -169,15 +169,15 @@ LowestWindowPolicy::plan(const Job &job, const PlanContext &ctx) const
 
     Seconds best_start = now;
     double best_integral = std::numeric_limits<double>::infinity();
-    for (Seconds s :
-         candidateStarts(now, ctx.queue->max_wait, granularity_)) {
-        const double integral =
-            cis.forecastIntegrate(now, s, s + j_avg);
-        if (integral < best_integral) {
-            best_integral = integral;
-            best_start = s;
-        }
-    }
+    forEachCandidateStart(
+        now, ctx.queue->max_wait, granularity_, [&](Seconds s) {
+            const double integral =
+                cis.forecastIntegrate(now, s, s + j_avg);
+            if (integral < best_integral) {
+                best_integral = integral;
+                best_start = s;
+            }
+        });
     return SchedulePlan(best_start, job.length);
 }
 
@@ -201,22 +201,23 @@ CarbonTimePolicy::plan(const Job &job, const PlanContext &ctx) const
 
     Seconds best_start = now;
     double best_cst = 0.0; // starting now scores zero by definition
-    for (Seconds s :
-         candidateStarts(now, ctx.queue->max_wait, granularity_)) {
-        if (s == now)
-            continue;
-        const double saving =
-            base_integral - cis.forecastIntegrate(now, s, s + j_avg);
-        if (saving <= 0.0)
-            continue; // never wait for non-positive savings
-        const double completion =
-            static_cast<double>((s - now) + j_avg);
-        const double cst = saving / completion;
-        if (cst > best_cst) {
-            best_cst = cst;
-            best_start = s;
-        }
-    }
+    forEachCandidateStart(
+        now, ctx.queue->max_wait, granularity_, [&](Seconds s) {
+            if (s == now)
+                return;
+            const double saving =
+                base_integral -
+                cis.forecastIntegrate(now, s, s + j_avg);
+            if (saving <= 0.0)
+                return; // never wait for non-positive savings
+            const double completion =
+                static_cast<double>((s - now) + j_avg);
+            const double cst = saving / completion;
+            if (cst > best_cst) {
+                best_cst = cst;
+                best_start = s;
+            }
+        });
     return SchedulePlan(best_start, job.length);
 }
 

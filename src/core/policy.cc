@@ -12,25 +12,8 @@ SchedulingPolicy::candidateStarts(Seconds now, Seconds max_wait,
     GAIA_ASSERT(max_wait >= 0, "negative waiting window");
 
     std::vector<Seconds> starts;
-    starts.push_back(now);
-    if (max_wait == 0)
-        return starts;
-
-    const Seconds deadline = now + max_wait;
-    // Hourly slot boundaries are always candidates: the carbon
-    // objectives are piecewise-linear between them, so they carry
-    // the coarse optimum. A finer granularity adds intermediate
-    // offsets on top (a superset of the hourly grid by
-    // construction, so refining never loses a candidate).
-    for (Seconds t = nextSlotBoundary(now + 1); t <= deadline;
-         t += kSecondsPerHour)
-        starts.push_back(t);
-    if (granularity > 0) {
-        for (Seconds t = now + granularity; t <= deadline;
-             t += granularity) {
-            starts.push_back(t);
-        }
-    }
+    forEachCandidateStart(now, max_wait, granularity,
+                          [&](Seconds t) { starts.push_back(t); });
     return starts;
 }
 

@@ -94,6 +94,30 @@ class SchedulingPolicy
     static std::vector<Seconds>
     candidateStarts(Seconds now, Seconds max_wait,
                     Seconds granularity = 0);
+
+    /**
+     * Visit the candidateStarts() sequence in the same order without
+     * materializing it — plan() runs once per arriving job, so the
+     * per-call vector was a measurable share of the planning hot
+     * path. `fn` receives each candidate start time.
+     */
+    template <typename Fn>
+    static void forEachCandidateStart(Seconds now, Seconds max_wait,
+                                      Seconds granularity, Fn &&fn)
+    {
+        fn(now);
+        if (max_wait == 0)
+            return;
+        const Seconds deadline = now + max_wait;
+        for (Seconds t = nextSlotBoundary(now + 1); t <= deadline;
+             t += kSecondsPerHour)
+            fn(t);
+        if (granularity > 0) {
+            for (Seconds t = now + granularity; t <= deadline;
+                 t += granularity)
+                fn(t);
+        }
+    }
 };
 
 /** Owning policy handle. */

@@ -24,9 +24,63 @@ OnlineScheduler::OnlineScheduler(const SchedulingPolicy &policy,
       rng_(cluster.seed)
 {
     const Status setup = validateClusterSetup(cluster_, strategy_);
-    if (!setup.isOk())
-        fatal(setup.message());
+    GAIA_ASSERT(setup.isOk(),
+                "invalid cluster setup passed to the constructor "
+                "(use OnlineScheduler::create for untrusted "
+                "configuration): ",
+                setup.message());
     horizon_ = cluster_.reservation_horizon; // 0 = derive later
+}
+
+Result<OnlineScheduler>
+OnlineScheduler::create(const SchedulingPolicy &policy,
+                        const QueueConfig &queues,
+                        const CarbonInfoService &cis,
+                        const ClusterConfig &cluster,
+                        ResourceStrategy strategy,
+                        std::string workload)
+{
+    GAIA_TRY(validateClusterSetup(cluster, strategy));
+    return OnlineScheduler(policy, queues, cis, cluster, strategy,
+                           std::move(workload));
+}
+
+void
+OnlineScheduler::reserveJobs(std::size_t count)
+{
+    states_.reserve(count);
+    // Each job contributes its arrival plus (typically) one start
+    // and one release event; 2x covers the common population
+    // without the heap reallocating mid-run.
+    events_.reserve(2 * count);
+}
+
+void
+OnlineScheduler::onEvent(const SimEvent &event)
+{
+    const auto idx = static_cast<std::size_t>(event.a);
+    switch (event.kind) {
+      case EvArrival:
+        onArrival(idx);
+        return;
+      case EvPlaceSegment:
+        placeSegment(idx, static_cast<std::size_t>(event.b));
+        return;
+      case EvPlaceSpotSegment:
+        placeSpotSegment(idx, static_cast<std::size_t>(event.b));
+        return;
+      case EvPlannedStart:
+        onPlannedStart(idx);
+        return;
+      case EvRestartAfterEviction:
+        restartAfterEviction(idx, events_.now());
+        return;
+      case EvPoolRelease:
+        pool_.release(static_cast<int>(event.a), events_.now());
+        drainPending();
+        return;
+    }
+    panic("unknown event kind ", event.kind);
 }
 
 bool
@@ -44,15 +98,16 @@ OnlineScheduler::spotEnabled() const
            cluster_.spot_max_length > 0;
 }
 
-void
+Status
 OnlineScheduler::submit(const Job &job)
 {
     GAIA_ASSERT(!finalized_, "submit() after finalize()");
-    if (job.submit < events_.now()) {
-        fatal("job ", job.id, " submitted at ", job.submit,
-              " but simulation time is already ", events_.now());
-    }
+    GAIA_REQUIRE(job.submit >= events_.now(), "job ", job.id,
+                 " submitted at ", job.submit,
+                 " but simulation time is already ", events_.now());
     const std::size_t idx = states_.size();
+    GAIA_ASSERT(idx <= 0xffffffffu, "job index overflows the event "
+                "payload");
     states_.emplace_back();
     states_[idx].job = job;
     states_[idx].outcome.id = job.id;
@@ -60,23 +115,27 @@ OnlineScheduler::submit(const Job &job)
     states_[idx].outcome.length = job.length;
     states_[idx].outcome.cpus = job.cpus;
     // Priority 0: arrivals at a timestamp run before same-instant
-    // releases/starts, so batch and incremental feeding agree.
-    events_.schedule(job.submit, /*priority=*/0,
-                     [this, idx] { onArrival(idx); });
+    // releases/starts, so batch and incremental feeding agree. The
+    // sequential lane keeps a batch-fed trace's arrivals (sorted by
+    // submit time) out of the heap.
+    events_.scheduleSequential(
+        job.submit, /*priority=*/0,
+        SimEvent{EvArrival, static_cast<std::uint32_t>(idx), 0});
+    return Status::ok();
 }
 
 void
 OnlineScheduler::advanceTo(Seconds t)
 {
     GAIA_ASSERT(!finalized_, "advanceTo() after finalize()");
-    events_.runUntil(t);
+    events_.runUntil(t, *this);
 }
 
 void
 OnlineScheduler::drain()
 {
     GAIA_ASSERT(!finalized_, "drain() after finalize()");
-    events_.runAll();
+    events_.runAll(*this);
 }
 
 void
@@ -151,8 +210,10 @@ OnlineScheduler::dispatch(std::size_t idx)
         }
         state.pending = true;
         pending_.emplace(state.plan.plannedStart(), idx);
-        events_.schedule(state.plan.plannedStart(),
-                         [this, idx] { onPlannedStart(idx); });
+        events_.schedule(
+            state.plan.plannedStart(),
+            SimEvent{EvPlannedStart,
+                     static_cast<std::uint32_t>(idx), 0});
         return;
     }
     panic("unknown resource strategy");
@@ -165,13 +226,11 @@ OnlineScheduler::followPlan(std::size_t idx, bool on_spot)
     state.started = true;
     for (std::size_t s = 0; s < state.plan.segmentCount(); ++s) {
         const Seconds at = state.plan.segment(s).start;
-        if (on_spot) {
-            events_.schedule(
-                at, [this, idx, s] { placeSpotSegment(idx, s); });
-        } else {
-            events_.schedule(at,
-                             [this, idx, s] { placeSegment(idx, s); });
-        }
+        events_.schedule(
+            at, SimEvent{on_spot ? EvPlaceSpotSegment
+                                 : EvPlaceSegment,
+                         static_cast<std::uint32_t>(idx),
+                         static_cast<std::int64_t>(s)});
     }
 }
 
@@ -192,10 +251,10 @@ OnlineScheduler::placeSegment(std::size_t idx, std::size_t seg_idx)
         pool_.acquire(cpus, at);
         recordSegment(idx, seg.start, seg.end,
                       PurchaseOption::Reserved, /*lost=*/false);
-        events_.schedule(seg.end, [this, cpus] {
-            pool_.release(cpus, events_.now());
-            drainPending();
-        });
+        events_.schedule(
+            seg.end,
+            SimEvent{EvPoolRelease,
+                     static_cast<std::uint32_t>(cpus), 0});
     } else {
         recordSegment(idx, seg.start, seg.end,
                       PurchaseOption::OnDemand, /*lost=*/false);
@@ -231,9 +290,9 @@ OnlineScheduler::placeSpotSegment(std::size_t idx,
         done.lost = true;
     state.outcome.evictions += 1;
     state.aborted = true;
-    events_.schedule(evict_at, [this, idx] {
-        restartAfterEviction(idx, events_.now());
-    });
+    events_.schedule(evict_at,
+                     SimEvent{EvRestartAfterEviction,
+                              static_cast<std::uint32_t>(idx), 0});
 }
 
 void
@@ -248,11 +307,10 @@ OnlineScheduler::restartAfterEviction(std::size_t idx, Seconds at)
         pool_.acquire(job.cpus, at);
         recordSegment(idx, at, at + job.length,
                       PurchaseOption::Reserved, /*lost=*/false);
-        const int cpus = job.cpus;
-        events_.schedule(at + job.length, [this, cpus] {
-            pool_.release(cpus, events_.now());
-            drainPending();
-        });
+        events_.schedule(
+            at + job.length,
+            SimEvent{EvPoolRelease,
+                     static_cast<std::uint32_t>(job.cpus), 0});
     } else {
         recordSegment(idx, at, at + job.length,
                       PurchaseOption::OnDemand, /*lost=*/false);
@@ -269,11 +327,10 @@ OnlineScheduler::startOnReserved(std::size_t idx, Seconds at)
     pool_.acquire(job.cpus, at);
     recordSegment(idx, at, at + job.length,
                   PurchaseOption::Reserved, /*lost=*/false);
-    const int cpus = job.cpus;
-    events_.schedule(at + job.length, [this, cpus] {
-        pool_.release(cpus, events_.now());
-        drainPending();
-    });
+    events_.schedule(
+        at + job.length,
+        SimEvent{EvPoolRelease,
+                 static_cast<std::uint32_t>(job.cpus), 0});
 }
 
 void
@@ -331,6 +388,7 @@ OnlineScheduler::drainPending()
 void
 OnlineScheduler::finalizeInto(SimulationResult &result)
 {
+    result.outcomes.reserve(states_.size());
     for (JobState &state : states_) {
         JobOutcome &o = state.outcome;
         GAIA_ASSERT(!o.segments.empty(), "job ", o.id,

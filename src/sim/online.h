@@ -12,27 +12,36 @@
  * around this class, so both paths share one engine and one
  * accounting implementation.
  *
+ * The event loop is allocation-free on the hot path: every handler
+ * is a 16-byte tagged SimEvent carrying a job index into the
+ * scheduler's job-state pool, dispatched through onEvent() — no
+ * per-event closures. reserveJobs() pre-sizes the pool when the
+ * population is known up front (the batch wrapper does this).
+ *
  * Usage:
  *
- *     OnlineScheduler sched(policy, queues, cis, cluster,
- *                           ResourceStrategy::ReservedFirst);
- *     sched.submit(job1);          // at job1.submit
- *     sched.advanceTo(now);        // process starts/finishes
- *     sched.submit(job2);
- *     sched.drain();               // run everything to completion
+ *     GAIA_TRY_ASSIGN(OnlineScheduler sched,
+ *                     OnlineScheduler::create(
+ *                         policy, queues, cis, cluster,
+ *                         ResourceStrategy::ReservedFirst));
+ *     GAIA_TRY(sched.submit(job1));  // at job1.submit
+ *     sched.advanceTo(now);          // process starts/finishes
+ *     GAIA_TRY(sched.submit(job2));
+ *     sched.drain();                 // run everything to completion
  *     SimulationResult r = sched.finalize();
  */
 
 #ifndef GAIA_SIM_ONLINE_H
 #define GAIA_SIM_ONLINE_H
 
-#include <deque>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "cloud/eviction.h"
 #include "cloud/reserved_pool.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/cis.h"
 #include "core/policy.h"
 #include "core/queues.h"
@@ -46,10 +55,15 @@ namespace gaia {
  * Incremental cluster scheduler/simulator. Single-threaded; all
  * referenced collaborators must outlive the scheduler.
  */
-class OnlineScheduler
+class OnlineScheduler : private EventQueue::Sink
 {
   public:
     /**
+     * Validating factory: checks the cluster/strategy combination
+     * and returns a ready scheduler or the Status explaining what
+     * is wrong with the input. Untrusted configuration must come
+     * through here.
+     *
      * @param policy    temporal scheduling policy
      * @param queues    queue configuration (calibrated J_avg)
      * @param cis       carbon information service
@@ -59,6 +73,15 @@ class OnlineScheduler
      * @param strategy  resource placement strategy
      * @param workload  label recorded in the result
      */
+    static Result<OnlineScheduler>
+    create(const SchedulingPolicy &policy, const QueueConfig &queues,
+           const CarbonInfoService &cis, const ClusterConfig &cluster,
+           ResourceStrategy strategy, std::string workload = "online");
+
+    /**
+     * Direct construction for pre-validated configuration; asserts
+     * on a setup create() would have rejected.
+     */
     OnlineScheduler(const SchedulingPolicy &policy,
                     const QueueConfig &queues,
                     const CarbonInfoService &cis,
@@ -66,11 +89,17 @@ class OnlineScheduler
                     ResourceStrategy strategy,
                     std::string workload = "online");
 
+    OnlineScheduler(OnlineScheduler &&) = default;
+
     /**
-     * Submit a job. Its submit time must not precede the current
-     * simulation time (events are processed in order).
+     * Submit a job. Errors (rather than asserting) when the job's
+     * submit time precedes the current simulation time, since live
+     * feeds are untrusted input.
      */
-    void submit(const Job &job);
+    Status submit(const Job &job);
+
+    /** Pre-size the job pool and event heap for `count` jobs. */
+    void reserveJobs(std::size_t count);
 
     /** Current simulation time. */
     Seconds now() const { return events_.now(); }
@@ -108,6 +137,25 @@ class OnlineScheduler
         JobOutcome outcome;
     };
 
+    /** Event tags; payloads documented per tag. */
+    enum Ev : std::uint32_t
+    {
+        /** a = job index. */
+        EvArrival,
+        /** a = job index, b = plan segment index. */
+        EvPlaceSegment,
+        /** a = job index, b = plan segment index. */
+        EvPlaceSpotSegment,
+        /** a = job index. */
+        EvPlannedStart,
+        /** a = job index; fires at the eviction instant. */
+        EvRestartAfterEviction,
+        /** a = cpus to return to the reserved pool. */
+        EvPoolRelease,
+    };
+
+    void onEvent(const SimEvent &event) override;
+
     bool usesReserved() const;
     bool spotEnabled() const;
 
@@ -128,16 +176,16 @@ class OnlineScheduler
     const QueueConfig &queues_;
     const CarbonInfoService &cis_;
     ClusterConfig cluster_;
-    const ResourceStrategy strategy_;
+    ResourceStrategy strategy_;
     std::string workload_;
 
     EventQueue events_;
     ReservedPool pool_;
     EvictionModel eviction_;
     Rng rng_;
-    /** deque: growth never invalidates existing elements, so event
-     *  handlers may safely capture indices. */
-    std::deque<JobState> states_;
+    /** Indexed job pool; events reference jobs by index, so growth
+     *  is free to relocate the vector. */
+    std::vector<JobState> states_;
     std::multimap<Seconds, std::size_t> pending_;
     Seconds horizon_ = 0;
     bool horizon_overrun_warned_ = false;

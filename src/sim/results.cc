@@ -1,11 +1,46 @@
 #include "sim/results.h"
 
 #include <algorithm>
+#include <cstring>
+#include <type_traits>
 
 #include "common/logging.h"
 #include "common/stats.h"
 
 namespace gaia {
+
+namespace {
+
+/** FNV-1a over arbitrary typed values (doubles by bit pattern). */
+class Digest
+{
+  public:
+    template <typename T>
+    void mix(T value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        unsigned char bytes[sizeof(T)];
+        std::memcpy(bytes, &value, sizeof(T));
+        for (unsigned char byte : bytes) {
+            hash_ ^= byte;
+            hash_ *= 0x100000001b3ULL;
+        }
+    }
+
+    void mix(const std::string &value)
+    {
+        mix<std::uint64_t>(value.size());
+        for (char c : value)
+            mix<unsigned char>(static_cast<unsigned char>(c));
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+} // namespace
 
 double
 SimulationResult::meanWaitingHours() const
@@ -39,6 +74,56 @@ SimulationResult::p95WaitingHours() const
     for (const JobOutcome &o : outcomes)
         waits.push_back(toHours(o.waiting()));
     return percentile(std::move(waits), 95.0);
+}
+
+std::uint64_t
+resultFingerprint(const SimulationResult &result)
+{
+    Digest digest;
+    digest.mix(result.policy);
+    digest.mix(result.strategy);
+    digest.mix(result.region);
+    digest.mix(result.workload);
+    digest.mix(result.reserved_cores);
+    digest.mix(result.horizon);
+    digest.mix(result.reserved_upfront);
+    digest.mix(result.on_demand_cost);
+    digest.mix(result.spot_cost);
+    digest.mix(result.carbon_kg);
+    digest.mix(result.carbon_nowait_kg);
+    digest.mix(result.energy_kwh);
+    digest.mix(result.idle_carbon_kg);
+    digest.mix(result.idle_energy_kwh);
+    digest.mix(result.reserved_core_seconds);
+    digest.mix(result.on_demand_core_seconds);
+    digest.mix(result.spot_core_seconds);
+    digest.mix(result.lost_core_seconds);
+    digest.mix(result.overhead_core_seconds);
+    digest.mix(result.reserved_utilization);
+    digest.mix<std::uint64_t>(result.eviction_count);
+    digest.mix<std::uint64_t>(result.outcomes.size());
+    for (const JobOutcome &o : result.outcomes) {
+        digest.mix(o.id);
+        digest.mix(o.submit);
+        digest.mix(o.length);
+        digest.mix(o.cpus);
+        digest.mix(o.start);
+        digest.mix(o.finish);
+        digest.mix(o.carbon_g);
+        digest.mix(o.carbon_nowait_g);
+        digest.mix(o.variable_cost);
+        digest.mix(o.evictions);
+        digest.mix(o.lost_core_seconds);
+        digest.mix(o.overhead_core_seconds);
+        digest.mix<std::uint64_t>(o.segments.size());
+        for (const PlacedSegment &seg : o.segments) {
+            digest.mix(seg.start);
+            digest.mix(seg.end);
+            digest.mix(static_cast<int>(seg.option));
+            digest.mix(seg.lost);
+        }
+    }
+    return digest.value();
 }
 
 std::vector<double>

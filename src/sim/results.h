@@ -13,6 +13,7 @@
 #ifndef GAIA_SIM_RESULTS_H
 #define GAIA_SIM_RESULTS_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -136,6 +137,15 @@ std::vector<double>
 allocationSeries(const SimulationResult &result, Seconds step,
                  bool any_option = true,
                  PurchaseOption option = PurchaseOption::OnDemand);
+
+/**
+ * Stable 64-bit digest of every field of `result`, including each
+ * job outcome and placed segment (doubles hashed by bit pattern, so
+ * even sub-printing-precision drift changes the digest). Two runs
+ * are bit-identical iff their fingerprints match — the determinism
+ * tests compare this across thread counts and repeated runs.
+ */
+std::uint64_t resultFingerprint(const SimulationResult &result);
 
 } // namespace gaia
 

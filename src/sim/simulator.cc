@@ -29,8 +29,13 @@ simulate(const SimulationSetup &setup)
     OnlineScheduler scheduler(*setup.policy, *setup.queues,
                               *setup.cis, cluster, setup.strategy,
                               setup.trace->name());
-    for (const Job &job : setup.trace->jobs())
-        scheduler.submit(job);
+    scheduler.reserveJobs(setup.trace->jobCount());
+    for (const Job &job : setup.trace->jobs()) {
+        // A JobTrace is sorted by submit time, so feeding it in
+        // order can never submit into the past.
+        const Status submitted = scheduler.submit(job);
+        GAIA_ASSERT(submitted.isOk(), submitted.message());
+    }
     scheduler.drain();
     SimulationResult result = scheduler.finalize();
 

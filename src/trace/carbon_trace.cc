@@ -31,6 +31,64 @@ CarbonTrace::CarbonTrace(std::string region, std::vector<double> hourly)
     GAIA_ASSERT(valid.isOk(), "invalid carbon trace passed to the ",
                 "constructor (use CarbonTrace::make for untrusted ",
                 "data): ", valid.message());
+    buildFastPath();
+}
+
+void
+CarbonTrace::buildFastPath()
+{
+    const std::size_t n = values_.size();
+    prefix_hi_.resize(n + 1);
+    prefix_lo_.resize(n + 1);
+    prefix_hi_[0] = 0.0;
+    prefix_lo_[0] = 0.0;
+    CompensatedSum sum;
+    for (std::size_t i = 0; i < n; ++i) {
+        // The same per-hour product the replaced loop formed; only
+        // the summation is upgraded from naive to compensated.
+        sum.add(values_[i] *
+                static_cast<double>(kSecondsPerHour));
+        prefix_hi_[i + 1] = sum.hi;
+        prefix_lo_[i + 1] = sum.lo;
+    }
+
+    // Sparse-table RMQ storing slot indices; ties keep the leftmost
+    // index so queries reproduce the first-win linear scan exactly.
+    rmq_.clear();
+    rmq_.emplace_back(n);
+    for (std::size_t i = 0; i < n; ++i)
+        rmq_[0][i] = static_cast<std::uint32_t>(i);
+    for (std::size_t span = 2; span <= n; span *= 2) {
+        const std::vector<std::uint32_t> &prev = rmq_.back();
+        std::vector<std::uint32_t> level(n - span + 1);
+        for (std::size_t i = 0; i + span <= n; ++i) {
+            const std::uint32_t a = prev[i];
+            const std::uint32_t b = prev[i + span / 2];
+            level[i] = values_[b] < values_[a] ? b : a;
+        }
+        rmq_.push_back(std::move(level));
+    }
+}
+
+double
+CarbonTrace::fullHourSum(std::size_t i, std::size_t j) const
+{
+    double s, e;
+    twoSum(prefix_hi_[j], -prefix_hi_[i], s, e);
+    e += prefix_lo_[j] - prefix_lo_[i];
+    return s + e;
+}
+
+std::size_t
+CarbonTrace::argminInRange(std::size_t l, std::size_t r) const
+{
+    std::size_t level = 0;
+    while ((std::size_t{2} << level) <= r - l + 1)
+        ++level;
+    const std::uint32_t a = rmq_[level][l];
+    const std::uint32_t b =
+        rmq_[level][r + 1 - (std::size_t{1} << level)];
+    return values_[b] < values_[a] ? b : a;
 }
 
 Result<CarbonTrace>
@@ -68,17 +126,66 @@ CarbonTrace::integrate(Seconds from, Seconds to) const
     if (from == to)
         return 0.0;
 
-    double total = 0.0;
+    // Same piecewise decomposition as the per-hour loop this
+    // replaces — identical per-segment products, with the full
+    // in-trace hours answered by the prefix table in O(1) — so
+    // results agree to the last compensation bit and equal windows
+    // stay exactly equal.
+    CompensatedSum total;
     Seconds cursor = from;
-    while (cursor < to) {
-        const SlotIndex slot = slotOf(std::max<Seconds>(cursor, 0));
+    if (cursor < 0) {
+        // Pre-trace time reads slot 0, whose segment extends to the
+        // end of the first hour.
+        const Seconds seg_end =
+            std::min<Seconds>(kSecondsPerHour, to);
+        total.add(values_.front() *
+                  static_cast<double>(seg_end - cursor));
+        cursor = seg_end;
+    }
+    const Seconds end_of_trace = duration();
+    if (cursor < to && cursor < end_of_trace) {
+        const Seconds stop = std::min(to, end_of_trace);
+        const SlotIndex slot = slotOf(cursor);
         const Seconds slot_end = slotStart(slot) + kSecondsPerHour;
+        if (slot_end >= stop) {
+            // Window within one slot.
+            total.add(values_[static_cast<std::size_t>(slot)] *
+                      static_cast<double>(stop - cursor));
+            cursor = stop;
+        } else {
+            if (cursor != slotStart(slot)) {
+                total.add(values_[static_cast<std::size_t>(slot)] *
+                          static_cast<double>(slot_end - cursor));
+                cursor = slot_end;
+            }
+            const auto full_begin =
+                static_cast<std::size_t>(slotOf(cursor));
+            const auto full_end =
+                static_cast<std::size_t>(slotOf(stop));
+            if (full_end > full_begin) {
+                total.add(fullHourSum(full_begin, full_end));
+                cursor = static_cast<Seconds>(full_end) *
+                         kSecondsPerHour;
+            }
+            if (cursor < stop) {
+                total.add(values_[full_end] *
+                          static_cast<double>(stop - cursor));
+                cursor = stop;
+            }
+        }
+    }
+    // Past the end of the trace the final hour's value extends
+    // indefinitely; keep the replaced loop's hour-by-hour product
+    // decomposition (this is the rare safety-net path).
+    while (cursor < to) {
+        const Seconds slot_end =
+            slotStart(slotOf(cursor)) + kSecondsPerHour;
         const Seconds segment_end = std::min(slot_end, to);
-        total += atSlot(slot) *
-                 static_cast<double>(segment_end - cursor);
+        total.add(values_.back() *
+                  static_cast<double>(segment_end - cursor));
         cursor = segment_end;
     }
-    return total;
+    return total.round();
 }
 
 double
@@ -96,16 +203,19 @@ CarbonTrace::minSlotIn(Seconds from, Seconds to) const
                 to, ")");
     const SlotIndex first = slotOf(std::max<Seconds>(from, 0));
     const SlotIndex last = slotOf(std::max<Seconds>(to - 1, 0));
-    SlotIndex best = first;
-    double best_value = atSlot(first);
-    for (SlotIndex s = first + 1; s <= last; ++s) {
-        const double v = atSlot(s);
-        if (v < best_value) {
-            best_value = v;
-            best = s;
-        }
-    }
-    return best;
+    const auto n = static_cast<SlotIndex>(values_.size());
+    // Windows at or past the end see only the (clamped) final value,
+    // so the first slot wins; this also preserves the replaced
+    // scan's convention of returning the unclamped first slot.
+    if (first >= n)
+        return first;
+    const auto l = static_cast<std::size_t>(first);
+    const auto r = static_cast<std::size_t>(
+        std::min<SlotIndex>(last, n - 1));
+    // Clamped slots past n−1 repeat values_[n−1] and can never win
+    // a strict comparison against slot n−1 itself, so the RMQ over
+    // the in-range suffix answers the full window.
+    return static_cast<SlotIndex>(argminInRange(l, r));
 }
 
 double

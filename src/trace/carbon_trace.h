@@ -13,6 +13,7 @@
 #ifndef GAIA_TRACE_CARBON_TRACE_H
 #define GAIA_TRACE_CARBON_TRACE_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -102,8 +103,35 @@ class CarbonTrace
     /** Clamp a slot index into the valid range. */
     std::size_t clampSlot(SlotIndex slot) const;
 
+    /**
+     * Precompute the compensated per-hour prefix sums and the
+     * sparse-table argmin index so integrate() and minSlotIn() run
+     * in O(1) instead of O(window hours). Called once by the
+     * constructor; values_ is immutable afterwards.
+     */
+    void buildFastPath();
+
+    /**
+     * prefix[j] − prefix[i] (j ≥ i) evaluated in double-double
+     * arithmetic and rounded once: the sum of the full-hour terms
+     * fl(values_[s] · 3600) for s in [i, j), exact to well below
+     * one ulp. Equal-length windows over identical value runs
+     * therefore compare exactly equal, preserving the first-win
+     * tie-breaks of the replaced per-hour loop.
+     */
+    double fullHourSum(std::size_t i, std::size_t j) const;
+
+    /** Leftmost index of the strictly smallest value in [l, r]. */
+    std::size_t argminInRange(std::size_t l, std::size_t r) const;
+
     std::string region_;
     std::vector<double> values_;
+
+    /** Compensated prefix sums of fl(values_[i] · 3600), size n+1. */
+    std::vector<double> prefix_hi_;
+    std::vector<double> prefix_lo_;
+    /** Sparse-table RMQ over values_, leftmost-min on ties. */
+    std::vector<std::vector<std::uint32_t>> rmq_;
 };
 
 } // namespace gaia

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Property tests pinning the O(1) carbon-accounting fast path to a
+ * naive reference loop.
+ *
+ * CarbonTrace::integrate() and minSlotIn() answer window queries
+ * from precomputed tables (compensated prefix sums and a sparse
+ * RMQ). These tests re-derive every answer with the per-hour loop
+ * the tables replaced — the reference accumulates with the same
+ * CompensatedSum discipline, i.e. the same rounding — and require
+ * exact agreement across randomized traces and windows, including
+ * the clamp regions before t=0 and past the end of the trace.
+ */
+
+#include "core/cis.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "trace/carbon_trace.h"
+
+namespace gaia {
+namespace {
+
+/**
+ * Reference integral with the fast path's rounding discipline: the
+ * same per-segment products and the same summation structure —
+ * partial segments plus one full-hour block collapsed to a double —
+ * except the block is summed by looping over the hours instead of
+ * differencing the precomputed prefix table. Bitwise agreement then
+ * pins the table (and its indexing) exactly.
+ */
+double
+refIntegrate(const CarbonTrace &trace, Seconds from, Seconds to)
+{
+    if (from == to)
+        return 0.0;
+    const std::vector<double> &v = trace.values();
+    CompensatedSum total;
+    Seconds cursor = from;
+    if (cursor < 0) {
+        const Seconds seg_end = std::min<Seconds>(kSecondsPerHour, to);
+        total.add(v.front() * static_cast<double>(seg_end - cursor));
+        cursor = seg_end;
+    }
+    const Seconds end_of_trace = trace.duration();
+    if (cursor < to && cursor < end_of_trace) {
+        const Seconds stop = std::min(to, end_of_trace);
+        const SlotIndex slot = slotOf(cursor);
+        const Seconds slot_end = slotStart(slot) + kSecondsPerHour;
+        if (slot_end >= stop) {
+            total.add(v[static_cast<std::size_t>(slot)] *
+                      static_cast<double>(stop - cursor));
+            cursor = stop;
+        } else {
+            if (cursor != slotStart(slot)) {
+                total.add(v[static_cast<std::size_t>(slot)] *
+                          static_cast<double>(slot_end - cursor));
+                cursor = slot_end;
+            }
+            const auto full_begin =
+                static_cast<std::size_t>(slotOf(cursor));
+            const auto full_end =
+                static_cast<std::size_t>(slotOf(stop));
+            if (full_end > full_begin) {
+                // The looped stand-in for the prefix difference.
+                CompensatedSum block;
+                for (std::size_t s = full_begin; s < full_end; ++s)
+                    block.add(v[s] * 3600.0);
+                total.add(block.round());
+                cursor = static_cast<Seconds>(full_end) *
+                         kSecondsPerHour;
+            }
+            if (cursor < stop) {
+                total.add(v[full_end] *
+                          static_cast<double>(stop - cursor));
+                cursor = stop;
+            }
+        }
+    }
+    while (cursor < to) {
+        const Seconds slot_end =
+            slotStart(slotOf(cursor)) + kSecondsPerHour;
+        const Seconds segment_end = std::min(slot_end, to);
+        total.add(v.back() *
+                  static_cast<double>(segment_end - cursor));
+        cursor = segment_end;
+    }
+    return total.round();
+}
+
+/** Plain-double version of the replaced loop (old rounding). */
+double
+naiveIntegrate(const CarbonTrace &trace, Seconds from, Seconds to)
+{
+    double total = 0.0;
+    Seconds cursor = from;
+    while (cursor < to) {
+        const SlotIndex slot = slotOf(std::max<Seconds>(cursor, 0));
+        const Seconds slot_end = slotStart(slot) + kSecondsPerHour;
+        const Seconds segment_end = std::min(slot_end, to);
+        total += trace.atSlot(slot) *
+                 static_cast<double>(segment_end - cursor);
+        cursor = segment_end;
+    }
+    return total;
+}
+
+/** Reference argmin: the first-win linear scan the RMQ replaced. */
+SlotIndex
+refMinSlot(const CarbonTrace &trace, Seconds from, Seconds to)
+{
+    const SlotIndex first = slotOf(std::max<Seconds>(from, 0));
+    const SlotIndex last = slotOf(std::max<Seconds>(to - 1, 0));
+    SlotIndex best = first;
+    double best_value = trace.atSlot(first);
+    for (SlotIndex s = first + 1; s <= last; ++s) {
+        const double v = trace.atSlot(s);
+        if (v < best_value) {
+            best_value = v;
+            best = s;
+        }
+    }
+    return best;
+}
+
+/**
+ * Random trace mixing smooth values with quantized flat runs — the
+ * region models clamp to a floor, so real traces contain long runs
+ * of exactly-equal values whose ties the fast path must preserve.
+ */
+CarbonTrace
+randomTrace(Rng &rng, std::size_t slots)
+{
+    std::vector<double> values;
+    values.reserve(slots);
+    while (values.size() < slots) {
+        if (rng.bernoulli(0.3)) {
+            // Flat run at a quantized level (exact-tie material).
+            const double level =
+                25.0 * static_cast<double>(rng.uniformInt(1, 12));
+            const std::int64_t run = rng.uniformInt(1, 8);
+            for (std::int64_t i = 0;
+                 i < run && values.size() < slots; ++i)
+                values.push_back(level);
+        } else {
+            values.push_back(rng.uniform(10.0, 700.0));
+        }
+    }
+    return CarbonTrace("prop", std::move(values));
+}
+
+/** Random window, biased to also cover the clamp regions. */
+std::pair<Seconds, Seconds>
+randomWindow(Rng &rng, const CarbonTrace &trace)
+{
+    const Seconds lo = -2 * kSecondsPerHour;
+    const Seconds hi = trace.duration() + 6 * kSecondsPerHour;
+    Seconds a = rng.uniformInt(lo, hi);
+    Seconds b = rng.uniformInt(lo, hi);
+    if (a > b)
+        std::swap(a, b);
+    return {a, b};
+}
+
+TEST(CarbonTraceFastPath, IntegrateMatchesReferenceBitwise)
+{
+    Rng rng(2024);
+    for (int t = 0; t < 20; ++t) {
+        const CarbonTrace trace = randomTrace(
+            rng, static_cast<std::size_t>(rng.uniformInt(1, 500)));
+        for (int q = 0; q < 400; ++q) {
+            const auto [from, to] = randomWindow(rng, trace);
+            const double fast = trace.integrate(from, to);
+            const double ref = refIntegrate(trace, from, to);
+            ASSERT_EQ(fast, ref)
+                << "trace " << t << " window [" << from << ", "
+                << to << ")";
+        }
+    }
+}
+
+TEST(CarbonTraceFastPath, IntegrateTracksThePlainDoubleLoop)
+{
+    // The compensated sum is a strict accuracy upgrade over the old
+    // plain accumulation; the two stay within a few ulps.
+    Rng rng(7);
+    for (int t = 0; t < 5; ++t) {
+        const CarbonTrace trace = randomTrace(rng, 24 * 60);
+        for (int q = 0; q < 200; ++q) {
+            const auto [from, to] = randomWindow(rng, trace);
+            const double fast = trace.integrate(from, to);
+            const double naive = naiveIntegrate(trace, from, to);
+            const double scale = std::max(1.0, std::abs(naive));
+            EXPECT_NEAR(fast, naive, 1e-9 * scale)
+                << "window [" << from << ", " << to << ")";
+        }
+    }
+}
+
+TEST(CarbonTraceFastPath, MinSlotMatchesFirstWinScanExactly)
+{
+    Rng rng(4242);
+    for (int t = 0; t < 20; ++t) {
+        const CarbonTrace trace = randomTrace(
+            rng, static_cast<std::size_t>(rng.uniformInt(1, 500)));
+        for (int q = 0; q < 400; ++q) {
+            auto [from, to] = randomWindow(rng, trace);
+            if (from == to)
+                to = from + 1; // minSlotIn needs a non-empty window
+            ASSERT_EQ(trace.minSlotIn(from, to),
+                      refMinSlot(trace, from, to))
+                << "trace " << t << " window [" << from << ", "
+                << to << ")";
+        }
+    }
+}
+
+TEST(CarbonTraceFastPath, TraceBoundaryEdgeCases)
+{
+    const CarbonTrace trace(
+        "edge", {300.0, 100.0, 100.0, 400.0, 50.0, 50.0});
+    const Seconds end = trace.duration();
+
+    // Empty and sub-slot windows.
+    EXPECT_EQ(trace.integrate(1000, 1000), 0.0);
+    EXPECT_EQ(trace.integrate(100, 101), 300.0);
+    EXPECT_EQ(trace.integrate(hours(1), hours(2)), 100.0 * 3600.0);
+
+    // Exact slot boundaries vs. straddling windows.
+    EXPECT_EQ(trace.integrate(0, end),
+              refIntegrate(trace, 0, end));
+    EXPECT_EQ(trace.integrate(1800, hours(1) + 1800),
+              refIntegrate(trace, 1800, hours(1) + 1800));
+
+    // Clamp region before t=0: charged at the first slot's value.
+    EXPECT_EQ(trace.integrate(-5000, 0),
+              refIntegrate(trace, -5000, 0));
+    EXPECT_EQ(trace.integrate(-5000, 1800),
+              refIntegrate(trace, -5000, 1800));
+
+    // Clamp region past the end: final hour's value repeats.
+    EXPECT_EQ(trace.integrate(end - 1800, end + hours(3)),
+              refIntegrate(trace, end - 1800, end + hours(3)));
+    EXPECT_EQ(trace.integrate(end + hours(1), end + hours(2)),
+              50.0 * 3600.0);
+
+    // First-win ties across flat runs, and clamped windows.
+    EXPECT_EQ(trace.minSlotIn(hours(1), hours(3)), 1);
+    EXPECT_EQ(trace.minSlotIn(0, end), 4);
+    EXPECT_EQ(trace.minSlotIn(hours(4), end + hours(5)), 4);
+    EXPECT_EQ(trace.minSlotIn(-hours(2), hours(1)), 0);
+    EXPECT_EQ(trace.minSlotIn(end + hours(1), end + hours(2)),
+              refMinSlot(trace, end + hours(1), end + hours(2)));
+
+    // Single-slot trace: every query lands on slot 0.
+    const CarbonTrace one("one", {123.0});
+    EXPECT_EQ(one.minSlotIn(-100, hours(9)), 0);
+    EXPECT_EQ(one.integrate(0, hours(4)),
+              refIntegrate(one, 0, hours(4)));
+}
+
+TEST(CarbonTraceFastPath, MeanOverIsIntegrateOverLength)
+{
+    Rng rng(99);
+    const CarbonTrace trace = randomTrace(rng, 300);
+    for (int q = 0; q < 200; ++q) {
+        auto [from, to] = randomWindow(rng, trace);
+        if (from == to)
+            to = from + 1;
+        EXPECT_EQ(trace.meanOver(from, to),
+                  trace.integrate(from, to) /
+                      static_cast<double>(to - from));
+    }
+}
+
+TEST(CisFastPath, OracleDelegatesToTraceExactly)
+{
+    // With zero noise and no forecast model the CIS is an oracle:
+    // its answers must be the trace's, slot for slot and bit for
+    // bit, regardless of the observation time.
+    Rng rng(1234);
+    const CarbonTrace trace = randomTrace(rng, 24 * 14);
+    const CarbonInfoService cis(trace);
+    for (int q = 0; q < 500; ++q) {
+        auto [from, to] = randomWindow(rng, trace);
+        if (from == to)
+            to = from + 1;
+        const Seconds now =
+            rng.uniformInt(0, trace.duration() - 1);
+        EXPECT_EQ(cis.forecastIntegrate(now, from, to),
+                  trace.integrate(from, to));
+        EXPECT_EQ(cis.forecastMinSlot(now, from, to),
+                  trace.minSlotIn(from, to));
+    }
+}
+
+TEST(CisFastPath, NoisyForecastsStillScanSlotwise)
+{
+    // Nonzero noise takes the slot-by-slot path; the integral must
+    // then consist of per-slot noisy values, which the exact trace
+    // integral generally does not equal.
+    Rng rng(5);
+    const CarbonTrace trace = randomTrace(rng, 24 * 7);
+    const CarbonInfoService noisy(trace, 0.2, 17);
+    const Seconds now = 0;
+    const Seconds from = hours(3);
+    const Seconds to = hours(40);
+    // Reconstruct from forecastAtSlot: same decomposition as the
+    // noisy forecastIntegrate loop.
+    double expected = 0.0;
+    Seconds cursor = from;
+    while (cursor < to) {
+        const SlotIndex slot = slotOf(std::max<Seconds>(cursor, 0));
+        const Seconds slot_end = slotStart(slot) + kSecondsPerHour;
+        const Seconds segment_end = std::min(slot_end, to);
+        expected += noisy.forecastAtSlot(now, slot) *
+                    static_cast<double>(segment_end - cursor);
+        cursor = segment_end;
+    }
+    EXPECT_DOUBLE_EQ(noisy.forecastIntegrate(now, from, to),
+                     expected);
+}
+
+} // namespace
+} // namespace gaia

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Golden regression tests: small-config versions of the fig08,
+ * fig14, and fig19 sweeps whose CSV-formatted output is diffed
+ * byte-for-byte against checked-in golden files.
+ *
+ * The goldens were generated from the pre-fast-path simulator core,
+ * so they pin the exact numeric behaviour of the accounting and
+ * policy pipeline: any change that alters a simulated schedule or a
+ * printed digit anywhere in these sweeps fails here first. Set
+ * GAIA_UPDATE_GOLDENS=1 to regenerate after an *intentional*
+ * behaviour change (and explain the diff in the commit).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "analysis/sweep.h"
+#include "common/strings.h"
+
+namespace gaia {
+namespace {
+
+#ifndef GAIA_GOLDEN_DIR
+#error "GAIA_GOLDEN_DIR must point at tests/golden"
+#endif
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(GAIA_GOLDEN_DIR) + "/" + name;
+}
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("GAIA_UPDATE_GOLDENS");
+    return env != nullptr && std::string(env) != "0";
+}
+
+/** Compare `actual` to the golden file (or rewrite it on update). */
+void
+checkGolden(const std::string &name, const std::string &actual)
+{
+    const std::string path = goldenPath(name);
+    if (updateRequested()) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (run once with GAIA_UPDATE_GOLDENS=1 to create it)";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(expected.str(), actual)
+        << "output of " << name << " drifted from the golden file; "
+        << "if the change is intentional, regenerate with "
+        << "GAIA_UPDATE_GOLDENS=1 and justify the diff";
+}
+
+/** One CSV line; fields joined with commas, '\n'-terminated. */
+std::string
+line(const std::vector<std::string> &fields)
+{
+    std::string out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += fields[i];
+    }
+    out += '\n';
+    return out;
+}
+
+const SimulationResult &
+cellValue(const SweepEngine &sweep, std::size_t index)
+{
+    const Result<SimulationResult> &cell = sweep.result(index);
+    EXPECT_TRUE(cell.isOk()) << cell.status().toString();
+    return cell.value();
+}
+
+/**
+ * fig08 at golden scale: the week-long 1k-job Alibaba-PAI trace,
+ * all six policies, on-demand only — same formatting as the bench's
+ * CSV mirror.
+ */
+TEST(GoldenOutputs, Fig08PolicyComparison)
+{
+    ScenarioSpec base;
+    base.workload = WorkloadSpec::week(1);
+    base.carbon = CarbonSpec::forRegion(Region::SouthAustralia,
+                                        24 * 13, 1);
+
+    const std::vector<std::string> policies = {
+        "NoWait",      "Lowest-Slot", "Lowest-Window",
+        "Carbon-Time", "Ecovisor",    "Wait-Awhile"};
+
+    SweepEngine sweep;
+    for (const std::string &name : policies) {
+        ScenarioSpec spec = base;
+        spec.policy = name;
+        spec.label = name;
+        sweep.add(std::move(spec));
+    }
+    sweep.run();
+
+    std::vector<MetricsRow> rows;
+    for (std::size_t i = 0; i < policies.size(); ++i)
+        rows.push_back(
+            metricsOf(policies[i], cellValue(sweep, i)));
+    const auto normalized = normalizedToMax(rows);
+
+    std::string csv = line({"policy", "norm_carbon", "norm_wait",
+                            "carbon_kg", "wait_hours"});
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        csv += line({policies[i], fmt(normalized[i].carbon_kg, 4),
+                     fmt(normalized[i].wait_hours, 4),
+                     fmt(rows[i].carbon_kg, 4),
+                     fmt(rows[i].wait_hours, 4)});
+    }
+    checkGolden("fig08_small.csv", csv);
+}
+
+/**
+ * fig14 at golden scale: savings-per-waiting-hour for Lowest-Window
+ * and Carbon-Time across (W_short, W_long) points, week-long trace.
+ */
+TEST(GoldenOutputs, Fig14WaitingSweep)
+{
+    ScenarioSpec base;
+    base.workload = WorkloadSpec::week(1);
+    base.carbon = CarbonSpec::forRegion(Region::SouthAustralia,
+                                        24 * 13, 1);
+
+    struct Point
+    {
+        Seconds w_short;
+        Seconds w_long;
+    };
+    const std::vector<Point> points = {{hours(1), hours(24)},
+                                       {hours(6), hours(24)},
+                                       {hours(24), hours(24)},
+                                       {hours(6), hours(6)},
+                                       {hours(6), hours(48)}};
+    const std::vector<std::string> policies = {"Lowest-Window",
+                                               "Carbon-Time"};
+
+    SweepEngine sweep;
+    ScenarioSpec nowait_spec = base;
+    nowait_spec.policy = "NoWait";
+    const std::size_t nowait_cell = sweep.add(nowait_spec);
+
+    std::vector<std::size_t> cells;
+    for (const Point &point : points) {
+        for (const std::string &policy : policies) {
+            ScenarioSpec spec = base;
+            spec.policy = policy;
+            spec.short_wait = point.w_short;
+            spec.long_wait = point.w_long;
+            spec.label = policy;
+            cells.push_back(sweep.add(std::move(spec)));
+        }
+    }
+    sweep.run();
+    const SimulationResult &nowait = cellValue(sweep, nowait_cell);
+
+    std::string csv = line({"w_short_h", "w_long_h", "policy",
+                            "saved_per_wait_h", "saved_kg",
+                            "wait_h"});
+    std::size_t k = 0;
+    for (const Point &point : points) {
+        for (const std::string &policy : policies) {
+            const SimulationResult &r =
+                cellValue(sweep, cells[k++]);
+            const double saved = nowait.carbon_kg - r.carbon_kg;
+            const double wait = r.meanWaitingHours();
+            const double ratio = wait > 0.0 ? saved / wait : 0.0;
+            csv += line({fmt(toHours(point.w_short), 1),
+                         fmt(toHours(point.w_long), 1), policy,
+                         fmt(ratio, 4), fmt(saved, 4),
+                         fmt(wait, 4)});
+        }
+    }
+    checkGolden("fig14_small.csv", csv);
+}
+
+/**
+ * fig19 at golden scale: Spot-RES-Carbon-Time across reserved
+ * capacities and spot bounds with 10%/h evictions, on a small
+ * Azure-VM trace — exercises the reserved pool, spot evictions,
+ * restart accounting, and the seeded RNG.
+ */
+TEST(GoldenOutputs, Fig19HybridSweep)
+{
+    TraceBuildOptions options;
+    options.job_count = 600;
+    options.span = kSecondsPerWeek;
+    options.seed = 1;
+
+    ScenarioSpec base;
+    base.workload =
+        WorkloadSpec::builtin(WorkloadSource::AzureVm, options);
+    base.carbon = CarbonSpec::forRegion(Region::SouthAustralia,
+                                        24 * 13, 1);
+
+    const std::vector<Seconds> bounds = {0, hours(2), hours(6)};
+    const std::vector<int> reserved = {0, 4, 8};
+
+    SweepEngine sweep;
+    ScenarioSpec nowait_spec = base;
+    nowait_spec.policy = "NoWait";
+    const std::size_t nowait_cell = sweep.add(nowait_spec);
+
+    std::vector<std::size_t> cells;
+    for (Seconds bound : bounds) {
+        for (int cores : reserved) {
+            ScenarioSpec spec = base;
+            spec.policy = "Carbon-Time";
+            spec.strategy = ResourceStrategy::SpotReserved;
+            spec.cluster.reserved_cores = cores;
+            spec.cluster.spot_eviction_rate = 0.10;
+            spec.cluster.spot_max_length = bound;
+            cells.push_back(sweep.add(std::move(spec)));
+        }
+    }
+    sweep.run();
+    const SimulationResult &baseline =
+        cellValue(sweep, nowait_cell);
+
+    std::string csv = line(
+        {"reserved", "jmax_hours", "norm_cost", "norm_carbon"});
+    std::size_t k = 0;
+    for (Seconds bound : bounds) {
+        for (int cores : reserved) {
+            const SimulationResult &r =
+                cellValue(sweep, cells[k++]);
+            csv += line({std::to_string(cores),
+                         fmt(toHours(bound), 0),
+                         fmt(r.totalCost() / baseline.totalCost(),
+                             4),
+                         fmt(r.carbon_kg / baseline.carbon_kg,
+                             4)});
+        }
+    }
+    checkGolden("fig19_small.csv", csv);
+}
+
+} // namespace
+} // namespace gaia

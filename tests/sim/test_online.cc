@@ -197,6 +197,86 @@ TEST(Online, IntrospectionCounters)
     (void)sched.finalize();
 }
 
+TEST(Online, SubmitIntoThePastIsARecoverableError)
+{
+    // Live feeds are untrusted input: a job whose submit time
+    // precedes the simulation clock is rejected with a Status, not
+    // an assertion, and leaves the scheduler usable.
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue();
+    const PolicyPtr policy = makePolicy("NoWait");
+
+    OnlineScheduler sched(*policy, queues, cis, {},
+                          ResourceStrategy::OnDemandOnly);
+    EXPECT_TRUE(sched.submit({1, 1000, 600, 1}).isOk());
+    sched.advanceTo(5000);
+
+    const Status late = sched.submit({2, 100, 600, 1});
+    ASSERT_FALSE(late.isOk());
+    EXPECT_EQ(late.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(late.message().find("simulation time is already"),
+              std::string::npos);
+    EXPECT_EQ(sched.submittedJobs(), 1u); // rejection left no trace
+
+    // The scheduler is still fully usable afterwards.
+    EXPECT_TRUE(sched.submit({3, 6000, 600, 1}).isOk());
+    sched.drain();
+    const SimulationResult r = sched.finalize();
+    EXPECT_EQ(r.outcomes.size(), 2u);
+}
+
+TEST(Online, CreateValidatesUntrustedConfiguration)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue();
+    const PolicyPtr policy = makePolicy("NoWait");
+
+    // Strategy/cluster inconsistency: OnDemandOnly must not carry
+    // reserved cores.
+    ClusterConfig odd;
+    odd.reserved_cores = 4;
+    const Result<OnlineScheduler> inconsistent =
+        OnlineScheduler::create(*policy, queues, cis, odd,
+                                ResourceStrategy::OnDemandOnly);
+    ASSERT_FALSE(inconsistent.isOk());
+    EXPECT_EQ(inconsistent.status().code(),
+              ErrorCode::InvalidArgument);
+    EXPECT_NE(inconsistent.status().message().find(
+                  "OnDemandOnly strategy with"),
+              std::string::npos);
+
+    // Out-of-range field caught by ClusterConfig::validate().
+    ClusterConfig bad_rate;
+    bad_rate.spot_eviction_rate = 1.5;
+    const Result<OnlineScheduler> rate =
+        OnlineScheduler::create(*policy, queues, cis, bad_rate,
+                                ResourceStrategy::OnDemandOnly);
+    ASSERT_FALSE(rate.isOk());
+    EXPECT_NE(rate.status().message().find("eviction rate"),
+              std::string::npos);
+
+    ClusterConfig neg_cores;
+    neg_cores.reserved_cores = -1;
+    EXPECT_FALSE(OnlineScheduler::create(
+                     *policy, queues, cis, neg_cores,
+                     ResourceStrategy::ReservedFirst)
+                     .isOk());
+
+    // A valid setup yields a fully functional (movable) scheduler.
+    Result<OnlineScheduler> good = OnlineScheduler::create(
+        *policy, queues, cis, {}, ResourceStrategy::OnDemandOnly,
+        "created");
+    ASSERT_TRUE(good.isOk());
+    OnlineScheduler sched = std::move(good).value();
+    EXPECT_TRUE(sched.submit({1, 100, 600, 1}).isOk());
+    sched.drain();
+    const SimulationResult r = sched.finalize();
+    EXPECT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.workload, "created");
+}
+
 TEST(OnlineDeath, ApiMisuseIsCaught)
 {
     const CarbonTrace carbon = flatTrace();
@@ -204,15 +284,6 @@ TEST(OnlineDeath, ApiMisuseIsCaught)
     const QueueConfig queues = oneQueue();
     const PolicyPtr policy = makePolicy("NoWait");
 
-    {
-        OnlineScheduler sched(*policy, queues, cis, {},
-                              ResourceStrategy::OnDemandOnly);
-        sched.submit({1, 1000, 600, 1});
-        sched.advanceTo(5000);
-        EXPECT_EXIT(sched.submit({2, 100, 600, 1}),
-                    ::testing::ExitedWithCode(1),
-                    "simulation time is already");
-    }
     {
         OnlineScheduler sched(*policy, queues, cis, {},
                               ResourceStrategy::OnDemandOnly);
@@ -227,6 +298,16 @@ TEST(OnlineDeath, ApiMisuseIsCaught)
         (void)sched.finalize();
         EXPECT_DEATH(sched.submit({1, 0, 600, 1}),
                      "after finalize");
+    }
+    {
+        // The direct constructor is for pre-validated input only;
+        // feeding it a setup create() rejects is a caller bug.
+        ClusterConfig odd;
+        odd.reserved_cores = 4;
+        EXPECT_DEATH(
+            OnlineScheduler(*policy, queues, cis, odd,
+                            ResourceStrategy::OnDemandOnly),
+            "use OnlineScheduler::create");
     }
 }
 

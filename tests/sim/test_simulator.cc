@@ -319,16 +319,18 @@ TEST(Simulator, EmptyTraceProducesEmptyResult)
 
 TEST(SimulatorDeath, OnDemandOnlyWithReservedCoresIsFatal)
 {
+    // The batch wrapper pre-validates nothing: handing simulate()
+    // an inconsistent setup is a caller bug (recoverable callers
+    // must go through OnlineScheduler::create), so this asserts.
     const CarbonTrace carbon = flatTrace();
     const CarbonInfoService cis(carbon);
     const QueueConfig queues = oneQueue(hours(1));
     const JobTrace trace("t", {{1, 0, 100, 1}});
     ClusterConfig cluster;
     cluster.reserved_cores = 5;
-    EXPECT_EXIT(run(trace, "NoWait", queues, cis, cluster,
-                    ResourceStrategy::OnDemandOnly),
-                ::testing::ExitedWithCode(1),
-                "OnDemandOnly strategy with 5 reserved");
+    EXPECT_DEATH(run(trace, "NoWait", queues, cis, cluster,
+                     ResourceStrategy::OnDemandOnly),
+                 "OnDemandOnly strategy with 5 reserved");
 }
 
 TEST(SimulatorDeath, MissingInputsArePanics)
