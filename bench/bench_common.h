@@ -21,25 +21,46 @@
 
 #include "analysis/parallel.h"
 #include "common/csv.h"
+#include "common/executor.h"
 #include "common/strings.h"
 #include "common/time.h"
+#include "core/plan_cache.h"
 
 namespace gaia::bench {
 
 /**
  * Parse the shared bench flags: `--threads N` caps parallelFor's
- * worker count (overriding GAIA_THREADS). Unknown arguments are
- * ignored so individual benches can add their own.
+ * worker count (overriding GAIA_THREADS; malformed or non-positive
+ * values exit with code 2), `--no-memo` disables policy-plan
+ * memoization, and `--no-pool` routes parallelFor onto per-call
+ * fork/join threads instead of the persistent executor. Unknown
+ * arguments are ignored so individual benches can add their own.
  */
 inline void
 parseBenchArgs(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--threads" && i + 1 < argc) {
-            const long n = std::strtol(argv[++i], nullptr, 10);
-            if (n > 0)
-                setParallelThreads(static_cast<unsigned>(n));
+        if (arg == "--threads") {
+            if (i + 1 >= argc) {
+                std::cerr << argv[0]
+                          << ": --threads needs a value\n";
+                std::exit(2);
+            }
+            char *end = nullptr;
+            const long n = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || n <= 0) {
+                std::cerr << argv[0]
+                          << ": --threads expects a positive "
+                             "integer, got '"
+                          << argv[i] << "'\n";
+                std::exit(2);
+            }
+            setParallelThreads(static_cast<unsigned>(n));
+        } else if (arg == "--no-memo") {
+            setPlanMemoization(false);
+        } else if (arg == "--no-pool") {
+            setExecutorPoolEnabled(false);
         }
     }
 }

@@ -1,14 +1,21 @@
 /**
  * @file
- * Tiny fork-join helper for parameter sweeps: simulations are
+ * Parallel index loop for parameter sweeps: simulations are
  * independent, so the figure harnesses fan each configuration out
  * across hardware threads.
  *
- * Worker threads are exception-safe: the first exception thrown by
- * `fn(i)` stops the dispatch of new indices, all workers are
- * joined, and the exception is rethrown on the calling thread —
- * instead of the std::terminate an escaping exception would
- * otherwise trigger.
+ * parallelFor dispatches onto the process-wide work-stealing
+ * Executor (common/executor.h): runner tasks share an atomic index
+ * counter, the calling thread runs one runner inline, and nested
+ * parallelFor calls compose through the executor's task groups
+ * instead of oversubscribing the machine with fresh threads. With
+ * the pool disabled (setExecutorPoolEnabled(false), the --no-pool
+ * bench ablation) it falls back to the historical fork-join team,
+ * forkJoinParallelFor.
+ *
+ * Both paths are exception-safe: the first exception thrown by
+ * `fn(i)` stops the dispatch of new indices, every in-flight worker
+ * finishes, and the exception is rethrown on the calling thread.
  *
  * The worker count resolves, in order: the explicit `threads`
  * argument, setParallelThreads() (e.g. a bench's --threads flag),
@@ -19,55 +26,67 @@
 #ifndef GAIA_ANALYSIS_PARALLEL_H
 #define GAIA_ANALYSIS_PARALLEL_H
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/executor.h"
+
 namespace gaia {
 
-namespace detail {
-
-/** Process-wide override; 0 means "not set". */
-inline std::atomic<unsigned> parallel_thread_override{0};
-
-} // namespace detail
-
 /**
- * Override the default parallelFor worker count for the process
- * (0 restores automatic selection). Takes precedence over
- * GAIA_THREADS.
+ * Fork-join fallback: spawn `worker_count` fresh threads, join them
+ * all, rethrow the first exception. If spawning itself fails
+ * mid-loop (std::system_error from thread creation), the already
+ * spawned part of the team is stopped and joined before the error
+ * propagates — never std::terminate from an unjoined thread.
  */
-inline void
-setParallelThreads(unsigned threads)
+template <typename Fn>
+void
+forkJoinParallelFor(std::size_t n, Fn fn, unsigned worker_count)
 {
-    detail::parallel_thread_override.store(
-        threads, std::memory_order_relaxed);
-}
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> stop{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
 
-/**
- * Worker count parallelFor uses when none is passed explicitly:
- * setParallelThreads() override, then GAIA_THREADS, then hardware
- * concurrency (minimum 1).
- */
-inline unsigned
-defaultParallelThreads()
-{
-    const unsigned override_count =
-        detail::parallel_thread_override.load(
-            std::memory_order_relaxed);
-    if (override_count > 0)
-        return override_count;
-    if (const char *env = std::getenv("GAIA_THREADS")) {
-        const long parsed = std::strtol(env, nullptr, 10);
-        if (parsed > 0)
-            return static_cast<unsigned>(parsed);
+    const auto runner = [&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                stop.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(worker_count);
+    try {
+        for (unsigned w = 0; w < worker_count; ++w)
+            workers.emplace_back(runner);
+    } catch (...) {
+        stop.store(true, std::memory_order_relaxed);
+        for (std::thread &t : workers)
+            t.join();
+        throw;
     }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 2;
+    for (std::thread &t : workers)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 /**
@@ -75,8 +94,9 @@ defaultParallelThreads()
  * (0 = defaultParallelThreads()). `fn` must be safe to call
  * concurrently for distinct indices; results should be written to
  * pre-sized slots indexed by i. If any invocation throws, no new
- * indices are dispatched, every worker is joined, and the first
- * exception is rethrown here.
+ * indices are dispatched, every in-flight call completes, and the
+ * first exception is rethrown here. Safe to call from inside a task
+ * already running on the executor (nested sweeps).
  */
 template <typename Fn>
 void
@@ -84,48 +104,53 @@ parallelFor(std::size_t n, Fn fn, unsigned threads = 0)
 {
     if (n == 0)
         return;
-    unsigned worker_count =
-        threads > 0 ? threads : defaultParallelThreads();
-    worker_count = static_cast<unsigned>(
-        std::min<std::size_t>(worker_count, n));
+    unsigned cap = threads > 0 ? threads : defaultParallelThreads();
+    cap = static_cast<unsigned>(std::min<std::size_t>(cap, n));
 
-    if (worker_count <= 1) {
+    if (cap <= 1) {
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
         return;
     }
 
+    if (!executorPoolEnabled()) {
+        forkJoinParallelFor(n, fn, cap);
+        return;
+    }
+
     std::atomic<std::size_t> next{0};
     std::atomic<bool> stop{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-
-    std::vector<std::thread> workers;
-    workers.reserve(worker_count);
-    for (unsigned w = 0; w < worker_count; ++w) {
-        workers.emplace_back([&] {
-            while (!stop.load(std::memory_order_relaxed)) {
-                const std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= n)
-                    return;
-                try {
-                    fn(i);
-                } catch (...) {
-                    const std::lock_guard<std::mutex> lock(
-                        error_mutex);
-                    if (!first_error)
-                        first_error = std::current_exception();
-                    stop.store(true, std::memory_order_relaxed);
-                    return;
-                }
+    const auto runner = [&next, &stop, &fn, n] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                stop.store(true, std::memory_order_relaxed);
+                throw; // captured by the task group
             }
-        });
+        }
+    };
+
+    // cap−1 pool runners plus one inline on the calling thread; a
+    // runner that starts late (all indices taken) exits right away,
+    // so oversubscription beyond the pool size is harmless.
+    TaskGroup group;
+    for (unsigned w = 0; w + 1 < cap; ++w)
+        group.run(runner);
+
+    std::exception_ptr inline_error;
+    try {
+        runner();
+    } catch (...) {
+        inline_error = std::current_exception();
     }
-    for (std::thread &t : workers)
-        t.join();
-    if (first_error)
-        std::rethrow_exception(first_error);
+    group.wait(); // rethrows the first pool-side exception
+    if (inline_error)
+        std::rethrow_exception(inline_error);
 }
 
 } // namespace gaia

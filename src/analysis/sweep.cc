@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <ostream>
+#include <string>
 
 #include "analysis/parallel.h"
 #include "common/logging.h"
@@ -12,7 +13,41 @@ std::size_t
 SweepEngine::add(ScenarioSpec spec)
 {
     specs_.push_back(std::move(spec));
+    groups_.push_back({specs_.size() - 1, 1});
     return specs_.size() - 1;
+}
+
+std::size_t
+SweepEngine::addGroup(std::vector<ScenarioSpec> specs)
+{
+    GAIA_ASSERT(!specs.empty(), "empty sweep group");
+    const std::size_t first = specs_.size();
+    for (ScenarioSpec &spec : specs)
+        specs_.push_back(std::move(spec));
+    groups_.push_back({first, specs_.size() - first});
+    return first;
+}
+
+std::size_t
+SweepEngine::addSeedReplicas(const ScenarioSpec &base,
+                             std::size_t count)
+{
+    GAIA_ASSERT(count > 0, "seed-replica group needs at least one "
+                           "replica");
+    std::vector<ScenarioSpec> replicas;
+    replicas.reserve(count);
+    for (std::size_t r = 0; r < count; ++r) {
+        ScenarioSpec spec = base;
+        spec.workload.options.seed += r;
+        spec.carbon.seed += r;
+        spec.cis.seed += r;
+        if (!spec.label.empty())
+            spec.label += ' ';
+        spec.label +=
+            "seed=" + std::to_string(spec.workload.options.seed);
+        replicas.push_back(std::move(spec));
+    }
+    return addGroup(std::move(replicas));
 }
 
 const ScenarioSpec &
@@ -24,14 +59,31 @@ SweepEngine::spec(std::size_t index) const
 }
 
 void
+SweepEngine::runCell(std::size_t index)
+{
+    results_[index] = runScenario(specs_[index], cache_);
+}
+
+void
 SweepEngine::run()
 {
     const auto begin = std::chrono::steady_clock::now();
     results_.assign(specs_.size(), std::nullopt);
     parallelFor(
-        specs_.size(),
-        [&](std::size_t i) {
-            results_[i] = runScenario(specs_[i], cache_);
+        groups_.size(),
+        [&](std::size_t g) {
+            const Group &group = groups_[g];
+            if (group.count == 1) {
+                runCell(group.first);
+                return;
+            }
+            // Replicas become stealable tasks of their own; the
+            // nested wait helps run queued work, so this cannot
+            // deadlock the pool.
+            parallelFor(
+                group.count,
+                [&](std::size_t r) { runCell(group.first + r); },
+                threads_);
         },
         threads_);
     last_run_seconds_ =

@@ -11,6 +11,13 @@
  * other cells still complete, and printSummary() reports both the
  * failures and the asset-cache hit rate (each distinct trace is
  * built exactly once per sweep).
+ *
+ * Sweeps can also go two levels deep: addGroup()/addSeedReplicas()
+ * queue a *group* of related cells (e.g. one configuration under
+ * several seeds) that run() fans out as nested tasks on the
+ * work-stealing executor — so a sweep with fewer groups than cores
+ * still saturates the machine. Replicas are ordinary cells with
+ * consecutive flat indices, so result(i) works unchanged.
  */
 
 #ifndef GAIA_ANALYSIS_SWEEP_H
@@ -40,8 +47,30 @@ class SweepEngine
     /** Queue a cell; returns its stable index. */
     std::size_t add(ScenarioSpec spec);
 
+    /**
+     * Queue a non-empty batch of related cells as one group. Groups
+     * are the outer level of run()'s fan-out and a group's cells
+     * run as nested tasks on the executor, so a sweep with fewer
+     * groups than workers still spreads across the machine. Returns
+     * the first cell's index; the batch occupies consecutive
+     * indices (plain add() forms a group of one).
+     */
+    std::size_t addGroup(std::vector<ScenarioSpec> specs);
+
+    /**
+     * Queue `count` seed replicas of `base` as one group: replica r
+     * shifts the workload, carbon-model, and forecast-noise seeds
+     * by +r (replica 0 runs `base`'s own seeds) and tags each label
+     * with its workload seed. Returns the first replica's index.
+     */
+    std::size_t addSeedReplicas(const ScenarioSpec &base,
+                                std::size_t count);
+
     /** Queued cell count. */
     std::size_t size() const { return specs_.size(); }
+
+    /** Queued group count (plain add() forms a group of one). */
+    std::size_t groupCount() const { return groups_.size(); }
 
     /** The spec queued at `index`. */
     const ScenarioSpec &spec(std::size_t index) const;
@@ -76,9 +105,19 @@ class SweepEngine
     void printSummary(std::ostream &out) const;
 
   private:
+    /** Consecutive cell range fanned out as one nested task set. */
+    struct Group
+    {
+        std::size_t first = 0;
+        std::size_t count = 0;
+    };
+
+    void runCell(std::size_t index);
+
     unsigned threads_ = 0;
     double last_run_seconds_ = 0.0;
     std::vector<ScenarioSpec> specs_;
+    std::vector<Group> groups_;
     /** nullopt until run() fills the slot (Result has no default). */
     std::vector<std::optional<Result<SimulationResult>>> results_;
     AssetCache cache_;

@@ -21,6 +21,7 @@
 
 #include "cli/options.h"
 #include "cli/runner.h"
+#include "common/executor.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/policy_factory.h"
@@ -56,6 +57,9 @@ main(int argc, char **argv)
             std::cout << name << "\n";
         return 0;
     }
+
+    if (options.threads > 0)
+        setParallelThreads(options.threads);
 
     RunArtifacts artifacts;
     Result<SimulationResult> run =

@@ -95,6 +95,8 @@ cliUsage()
            "(default 0)\n\n"
            "Misc:\n"
            "  --seed S              RNG seed (default 1)\n"
+           "  --threads N           worker threads for parallel "
+           "phases (default: auto)\n"
            "  --output-dir DIR      CSV output directory "
            "(default gaia_results)\n"
            "  --list-policies       print policy names and exit\n"
@@ -218,6 +220,14 @@ parseCliOptions(const std::vector<std::string> &args,
             GAIA_TRY_ASSIGN(const std::int64_t n,
                             tryParseInt(v, "--seed"));
             options.seed = static_cast<std::uint64_t>(n);
+        } else if (arg == "--threads") {
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            GAIA_TRY_ASSIGN(const std::int64_t n,
+                            tryParseInt(v, "--threads"));
+            GAIA_REQUIRE(n > 0, "--threads must be positive, got ",
+                         n);
+            options.threads = static_cast<unsigned>(n);
         } else if (arg == "--output-dir") {
             GAIA_TRY_ASSIGN(options.output_dir,
                             need_value(i++, arg));

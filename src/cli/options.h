@@ -76,6 +76,9 @@ struct CliOptions
     /** RNG seed for trace synthesis and evictions. */
     std::uint64_t seed = 1;
 
+    /** Worker threads for parallel phases (0 = auto-detect). */
+    unsigned threads = 0;
+
     /** Output directory for aggregate/details/allocation CSVs. */
     std::string output_dir = "gaia_results";
 

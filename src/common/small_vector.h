@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Small-buffer vector for trivially copyable hot-path records.
+ *
+ * Simulation state keeps one tiny array per job (a plan's run
+ * segments, an outcome's placed segments) that holds a single
+ * element in the overwhelmingly common case — start-time policies
+ * emit one segment, and an uninterrupted job executes in one piece.
+ * std::vector pays a heap allocation for each, which was a
+ * measurable share of the per-job floor in the sweep benches.
+ * SmallVector stores up to N elements inline and only touches the
+ * heap when a suspend-resume plan or an evicted job spills past
+ * that.
+ *
+ * Restricted to trivially copyable element types so growth and
+ * copies are memcpy and the move constructor can steal or copy
+ * without per-element bookkeeping. Iterators are raw pointers;
+ * the usual vector idioms (range-for, std::sort over begin()/end(),
+ * operator[], front/back) work unchanged.
+ */
+
+#ifndef GAIA_COMMON_SMALL_VECTOR_H
+#define GAIA_COMMON_SMALL_VECTOR_H
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gaia {
+
+template <typename T, std::size_t N>
+class SmallVector
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVector is restricted to trivially copyable "
+                  "types (growth and copies are memcpy)");
+    static_assert(N > 0, "inline capacity must be positive");
+
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+
+    // User-provided (not `= default`) so const-qualified
+    // default-initialized instances are legal despite the
+    // deliberately uninitialized inline buffer.
+    SmallVector() {}
+
+    SmallVector(const SmallVector &other) { assignFrom(other); }
+
+    SmallVector(SmallVector &&other) noexcept { stealFrom(other); }
+
+    SmallVector &operator=(const SmallVector &other)
+    {
+        if (this != &other) {
+            releaseHeap();
+            assignFrom(other);
+        }
+        return *this;
+    }
+
+    SmallVector &operator=(SmallVector &&other) noexcept
+    {
+        if (this != &other) {
+            releaseHeap();
+            stealFrom(other);
+        }
+        return *this;
+    }
+
+    ~SmallVector() { releaseHeap(); }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return capacity_; }
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+    iterator begin() { return data_; }
+    iterator end() { return data_ + size_; }
+    const_iterator begin() const { return data_; }
+    const_iterator end() const { return data_ + size_; }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+    T &front() { return data_[0]; }
+    const T &front() const { return data_[0]; }
+    T &back() { return data_[size_ - 1]; }
+    const T &back() const { return data_[size_ - 1]; }
+
+    void clear() { size_ = 0; }
+
+    void reserve(std::size_t wanted)
+    {
+        if (wanted > capacity_)
+            grow(wanted);
+    }
+
+    void push_back(const T &value)
+    {
+        if (size_ == capacity_)
+            grow(capacity_ * 2);
+        data_[size_++] = value;
+    }
+
+    template <typename... Args>
+    T &emplace_back(Args &&...args)
+    {
+        if (size_ == capacity_)
+            grow(capacity_ * 2);
+        data_[size_] = T{std::forward<Args>(args)...};
+        return data_[size_++];
+    }
+
+    friend bool operator==(const SmallVector &a, const SmallVector &b)
+    {
+        if (a.size_ != b.size_)
+            return false;
+        for (std::size_t i = 0; i < a.size_; ++i) {
+            if (!(a.data_[i] == b.data_[i]))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    bool onHeap() const { return data_ != inlineData(); }
+
+    T *inlineData()
+    {
+        return std::launder(reinterpret_cast<T *>(inline_));
+    }
+    const T *inlineData() const
+    {
+        return std::launder(reinterpret_cast<const T *>(inline_));
+    }
+
+    void releaseHeap()
+    {
+        if (onHeap())
+            std::free(data_);
+    }
+
+    void resetToInline()
+    {
+        data_ = inlineData();
+        size_ = 0;
+        capacity_ = N;
+    }
+
+    void assignFrom(const SmallVector &other)
+    {
+        resetToInline();
+        reserve(other.size_);
+        std::memcpy(static_cast<void *>(data_), other.data_,
+                    other.size_ * sizeof(T));
+        size_ = other.size_;
+    }
+
+    void stealFrom(SmallVector &other) noexcept
+    {
+        if (other.onHeap()) {
+            data_ = other.data_;
+            size_ = other.size_;
+            capacity_ = other.capacity_;
+            other.resetToInline();
+        } else {
+            resetToInline();
+            std::memcpy(static_cast<void *>(data_), other.data_,
+                        other.size_ * sizeof(T));
+            size_ = other.size_;
+            other.size_ = 0;
+        }
+    }
+
+    void grow(std::size_t wanted)
+    {
+        const std::size_t grown = wanted > 2 * N ? wanted : 2 * N;
+        T *fresh =
+            static_cast<T *>(std::malloc(grown * sizeof(T)));
+        if (fresh == nullptr)
+            throw std::bad_alloc();
+        std::memcpy(static_cast<void *>(fresh), data_,
+                    size_ * sizeof(T));
+        releaseHeap();
+        data_ = fresh;
+        capacity_ = grown;
+    }
+
+    alignas(T) unsigned char inline_[N * sizeof(T)];
+    T *data_ = inlineData();
+    std::size_t size_ = 0;
+    std::size_t capacity_ = N;
+};
+
+} // namespace gaia
+
+#endif // GAIA_COMMON_SMALL_VECTOR_H

@@ -1,0 +1,61 @@
+#include "core/plan_cache.h"
+
+#include <atomic>
+#include <ostream>
+
+namespace gaia {
+
+namespace {
+
+std::atomic<bool> memoization_enabled{true};
+
+} // namespace
+
+void
+setPlanMemoization(bool enabled)
+{
+    memoization_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+planMemoizationEnabled()
+{
+    return memoization_enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+PlanCache::hits() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+PlanCache::misses() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+void
+PlanCache::printSummary(std::ostream &out) const
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        hits = hits_;
+        misses = misses_;
+    }
+    const std::uint64_t lookups = hits + misses;
+    out << "plan cache: " << lookups << " lookups, " << hits
+        << " hits, " << misses << " misses";
+    if (lookups > 0) {
+        out << " (" << (100.0 * static_cast<double>(hits) /
+                        static_cast<double>(lookups))
+            << "% hit rate)";
+    }
+    out << "\n";
+}
+
+} // namespace gaia

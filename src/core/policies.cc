@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "core/plan_cache.h"
 
 namespace gaia {
 
@@ -18,6 +19,39 @@ checkContext(const Job &job, const PlanContext &ctx)
     GAIA_ASSERT(ctx.now == job.submit, "plan() at t=", ctx.now,
                 " for a job submitted at ", job.submit);
     GAIA_ASSERT(job.length > 0, "job ", job.id, " has no work");
+}
+
+/**
+ * Whether boundary-candidate results may be replayed across jobs:
+ * needs a cache, hourly-only candidates, and CIS answers that do not
+ * depend on the exact query instant within the arrival slot (oracle
+ * truth or per-slot hashed noise; a forecast *model* may condition
+ * on `now` itself, so it opts out).
+ */
+bool
+memoizable(const PlanContext &ctx, Seconds granularity)
+{
+    return ctx.cache != nullptr && granularity == 0 &&
+           !ctx.cis->usesForecastModel();
+}
+
+/**
+ * The hourly boundary-candidate range forEachCandidateStart visits
+ * after `now`: first candidate and count. Every job arriving in the
+ * same slot under the same max-wait sees the same range, because
+ * nextSlotBoundary(now+1) is the next slot's start for any offset
+ * within the slot.
+ */
+PlanCache::BoundaryKey
+boundaryKey(Seconds now, Seconds max_wait, Seconds length)
+{
+    const Seconds first = nextSlotBoundary(now + 1);
+    const Seconds deadline = now + max_wait;
+    const std::int64_t count =
+        first <= deadline
+            ? (deadline - first) / kSecondsPerHour + 1
+            : 0;
+    return PlanCache::BoundaryKey{first, count, length};
 }
 
 } // namespace
@@ -145,8 +179,18 @@ LowestSlotPolicy::plan(const Job &job, const PlanContext &ctx) const
     checkContext(job, ctx);
     const Seconds now = ctx.now;
     const Seconds window_end = now + ctx.queue->max_wait + 1;
+    const auto compute = [&] {
+        return ctx.cis->forecastMinSlot(now, now, window_end);
+    };
+    // The scanned slot range [slotOf(now), slotOf(now + W)] and the
+    // answer are shared by every arrival in the slot: the first
+    // slot's value is measured truth either way, the rest are
+    // per-slot forecasts.
     const SlotIndex best =
-        ctx.cis->forecastMinSlot(now, now, window_end);
+        memoizable(ctx, 0)
+            ? ctx.cache->minSlot(slotOf(now),
+                                 slotOf(window_end - 1), compute)
+            : compute();
     const Seconds start = std::max(now, slotStart(best));
     return SchedulePlan(start, job.length);
 }
@@ -166,6 +210,32 @@ LowestWindowPolicy::plan(const Job &job, const PlanContext &ctx) const
     const Seconds j_avg = use_exact_length_
                               ? job.length
                               : ctx.queue->effectiveAvgLength();
+
+    // Memoized path: the boundary candidates' integrals are
+    // independent of the exact arrival instant (their windows lie
+    // strictly after slotOf(now)), so the best boundary is cached
+    // per (first boundary, count, J_avg). The strict-< scan picks
+    // the first occurrence of the minimum, so comparing that cached
+    // winner against this job's start-now integral reproduces the
+    // full scan bit for bit. The oracle variant keys on per-job
+    // exact lengths and would mostly miss, so it stays direct.
+    if (memoizable(ctx, granularity_) && !use_exact_length_) {
+        const PlanCache::BoundaryKey key =
+            boundaryKey(now, ctx.queue->max_wait, j_avg);
+        const double now_integral =
+            cis.forecastIntegrate(now, now, now + j_avg);
+        Seconds best_start = now;
+        if (key.count > 0) {
+            const PlanCache::WindowBest best =
+                ctx.cache->windowBest(key, [&](Seconds s) {
+                    return cis.forecastIntegrate(now, s,
+                                                 s + j_avg);
+                });
+            if (best.integral < now_integral)
+                best_start = best.start;
+        }
+        return SchedulePlan(best_start, job.length);
+    }
 
     Seconds best_start = now;
     double best_integral = std::numeric_limits<double>::infinity();
@@ -198,6 +268,40 @@ CarbonTimePolicy::plan(const Job &job, const PlanContext &ctx) const
     // now — the carbon-agnostic reference C(t).
     const double base_integral =
         cis.forecastIntegrate(now, now, now + j_avg);
+
+    // Memoized path: only the boundary integrals are shareable —
+    // the CST ratio divides by (s − now) + J_avg, which depends on
+    // the exact arrival instant — so the per-job selection loop
+    // replays the original arithmetic over cached integrals.
+    if (memoizable(ctx, granularity_)) {
+        const PlanCache::BoundaryKey key =
+            boundaryKey(now, ctx.queue->max_wait, j_avg);
+        Seconds best_start = now;
+        double best_cst = 0.0;
+        if (key.count > 0) {
+            const std::vector<double> &integrals =
+                ctx.cache->startIntegrals(key, [&](Seconds s) {
+                    return cis.forecastIntegrate(now, s,
+                                                 s + j_avg);
+                });
+            for (std::int64_t k = 0; k < key.count; ++k) {
+                const double saving =
+                    base_integral -
+                    integrals[static_cast<std::size_t>(k)];
+                if (saving <= 0.0)
+                    continue; // never wait for non-positive savings
+                const Seconds s = key.first + k * kSecondsPerHour;
+                const double completion =
+                    static_cast<double>((s - now) + j_avg);
+                const double cst = saving / completion;
+                if (cst > best_cst) {
+                    best_cst = cst;
+                    best_start = s;
+                }
+            }
+        }
+        return SchedulePlan(best_start, job.length);
+    }
 
     Seconds best_start = now;
     double best_cst = 0.0; // starting now scores zero by definition

@@ -30,6 +30,8 @@
 
 namespace gaia {
 
+class PlanCache;
+
 /** Everything a policy may consult when planning one job. */
 struct PlanContext
 {
@@ -39,6 +41,12 @@ struct PlanContext
     const CarbonInfoService *cis = nullptr;
     /** The job's queue (provides W, J^max, J_avg). */
     const QueueSpec *queue = nullptr;
+    /**
+     * Optional memoization of slot-invariant planning work (see
+     * core/plan_cache.h); null disables it. Policies must produce
+     * bitwise-identical plans with and without it.
+     */
+    PlanCache *cache = nullptr;
 };
 
 /** What a policy knows about job lengths (Table 1, "Job Length"). */

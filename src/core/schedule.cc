@@ -8,14 +8,18 @@
 namespace gaia {
 
 SchedulePlan::SchedulePlan(Seconds start, Seconds length)
-    : segments_{{start, start + length}}
 {
+    segments_.push_back({start, start + length});
     validate();
 }
 
 SchedulePlan::SchedulePlan(std::vector<RunSegment> segments)
-    : segments_(mergeSegments(std::move(segments)))
 {
+    const std::vector<RunSegment> merged =
+        mergeSegments(std::move(segments));
+    segments_.reserve(merged.size());
+    for (const RunSegment &s : merged)
+        segments_.push_back(s);
     validate();
 }
 
@@ -32,27 +36,6 @@ SchedulePlan::validate() const
                         "segments overlap or touch after merging");
         }
     }
-}
-
-const RunSegment &
-SchedulePlan::segment(std::size_t i) const
-{
-    GAIA_ASSERT(i < segments_.size(), "segment index out of range");
-    return segments_[i];
-}
-
-Seconds
-SchedulePlan::plannedStart() const
-{
-    GAIA_ASSERT(!segments_.empty(), "plannedStart of empty plan");
-    return segments_.front().start;
-}
-
-Seconds
-SchedulePlan::plannedEnd() const
-{
-    GAIA_ASSERT(!segments_.empty(), "plannedEnd of empty plan");
-    return segments_.back().end;
 }
 
 Seconds

@@ -13,9 +13,12 @@
 #ifndef GAIA_CORE_SCHEDULE_H
 #define GAIA_CORE_SCHEDULE_H
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
+#include "common/small_vector.h"
 #include "common/time.h"
 
 namespace gaia {
@@ -44,17 +47,31 @@ class SchedulePlan
 
     bool empty() const { return segments_.empty(); }
     std::size_t segmentCount() const { return segments_.size(); }
-    const std::vector<RunSegment> &segments() const
+    std::span<const RunSegment> segments() const
     {
-        return segments_;
+        return {segments_.data(), segments_.size()};
     }
-    const RunSegment &segment(std::size_t i) const;
+    const RunSegment &segment(std::size_t i) const
+    {
+        GAIA_ASSERT(i < segments_.size(),
+                    "segment index out of range");
+        return segments_[i];
+    }
 
     /** When execution first begins. */
-    Seconds plannedStart() const;
+    Seconds plannedStart() const
+    {
+        GAIA_ASSERT(!segments_.empty(),
+                    "plannedStart of empty plan");
+        return segments_.front().start;
+    }
 
     /** When execution finally completes. */
-    Seconds plannedEnd() const;
+    Seconds plannedEnd() const
+    {
+        GAIA_ASSERT(!segments_.empty(), "plannedEnd of empty plan");
+        return segments_.back().end;
+    }
 
     /** Total planned compute time across segments. */
     Seconds totalRunTime() const;
@@ -68,7 +85,9 @@ class SchedulePlan
   private:
     void validate() const;
 
-    std::vector<RunSegment> segments_;
+    /** One segment stays inline — every start-time policy's plan —
+     *  so planning a job costs no heap allocation. */
+    SmallVector<RunSegment, 1> segments_;
 };
 
 /**

@@ -149,6 +149,8 @@ OnlineScheduler::onArrival(std::size_t idx)
     ctx.now = job.submit;
     ctx.cis = &cis_;
     ctx.queue = &queue;
+    ctx.cache =
+        planMemoizationEnabled() ? plan_cache_.get() : nullptr;
     state.plan = policy_.plan(job, ctx);
 
     // Plan contract checks (see SchedulingPolicy::plan).
@@ -224,6 +226,20 @@ OnlineScheduler::followPlan(std::size_t idx, bool on_spot)
 {
     JobState &state = states_[idx];
     state.started = true;
+    if (!on_spot && strategy_ == ResourceStrategy::OnDemandOnly) {
+        // Pure on-demand placement touches no shared state (no
+        // reserved pool, no evictions), so deferring each segment
+        // through the event heap only reorders identical
+        // recordSegment calls — record them directly instead. This
+        // cuts a heap push/pop + dispatch per job on the sweep hot
+        // path.
+        for (std::size_t s = 0; s < state.plan.segmentCount(); ++s) {
+            const RunSegment &seg = state.plan.segment(s);
+            recordSegment(idx, seg.start, seg.end,
+                          PurchaseOption::OnDemand, /*lost=*/false);
+        }
+        return;
+    }
     for (std::size_t s = 0; s < state.plan.segmentCount(); ++s) {
         const Seconds at = state.plan.segment(s).start;
         events_.schedule(
@@ -393,10 +409,13 @@ OnlineScheduler::finalizeInto(SimulationResult &result)
         JobOutcome &o = state.outcome;
         GAIA_ASSERT(!o.segments.empty(), "job ", o.id,
                     " never executed");
-        std::sort(o.segments.begin(), o.segments.end(),
-                  [](const PlacedSegment &a, const PlacedSegment &b) {
-                      return a.start < b.start;
-                  });
+        if (o.segments.size() > 1) {
+            std::sort(
+                o.segments.begin(), o.segments.end(),
+                [](const PlacedSegment &a, const PlacedSegment &b) {
+                    return a.start < b.start;
+                });
+        }
 
         Seconds useful = 0;
         o.start = o.segments.front().start;

@@ -35,6 +35,7 @@
 #define GAIA_SIM_ONLINE_H
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/cis.h"
+#include "core/plan_cache.h"
 #include "core/policy.h"
 #include "core/queues.h"
 #include "sim/cluster.h"
@@ -119,6 +121,9 @@ class OnlineScheduler : private EventQueue::Sink
     /** Reserved cores currently busy. */
     int reservedCoresInUse() const { return pool_.inUse(); }
 
+    /** This run's plan memoization counters (see core/plan_cache.h). */
+    const PlanCache &planCache() const { return *plan_cache_; }
+
     /**
      * Close the books and return the result. The scheduler must be
      * drained; finalize() may be called once.
@@ -180,6 +185,11 @@ class OnlineScheduler : private EventQueue::Sink
     std::string workload_;
 
     EventQueue events_;
+    /** Behind a pointer so the scheduler stays movable (the cache
+     *  holds a mutex); one cache per simulation, plans within a run
+     *  share slot-invariant boundary work. */
+    std::unique_ptr<PlanCache> plan_cache_ =
+        std::make_unique<PlanCache>();
     ReservedPool pool_;
     EvictionModel eviction_;
     Rng rng_;

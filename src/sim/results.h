@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cloud/purchase.h"
+#include "common/small_vector.h"
 #include "common/time.h"
 #include "workload/job.h"
 
@@ -44,7 +45,10 @@ struct JobOutcome
     int cpus = 1;
 
     /** Chronological placements, including lost spot slices. */
-    std::vector<PlacedSegment> segments;
+    /** Two segments stay inline: an uninterrupted run, or one
+     *  lost spot slice plus the restart — so recording placements
+     *  allocates only for suspend-resume schedules. */
+    SmallVector<PlacedSegment, 2> segments;
 
     /** First instant any segment ran. */
     Seconds start = 0;

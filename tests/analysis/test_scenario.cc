@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/executor.h"
 #include "common/time.h"
 
 namespace gaia {
@@ -222,6 +223,50 @@ TEST(RunScenario, EmptyWorkloadIsFailedPrecondition)
     ASSERT_FALSE(r.isOk());
     EXPECT_EQ(r.status().code(), ErrorCode::FailedPrecondition);
     std::remove(path.c_str());
+}
+
+TEST(AssetCache, ConcurrentLookupsBuildEachAssetOnce)
+{
+    AssetCache cache;
+    Executor pool(4);
+    const int kTasks = 8;
+    const int kIters = 25;
+    const int kSeeds = 4;
+
+    TaskGroup group(pool);
+    for (int t = 0; t < kTasks; ++t) {
+        group.run([&] {
+            for (int i = 0; i < kIters; ++i) {
+                const std::uint64_t seed = 1 + i % kSeeds;
+                const auto trace =
+                    cache.trace(tinyWorkload(seed));
+                ASSERT_TRUE(trace.isOk());
+                ASSERT_GT(trace.value()->jobs().size(), 0u);
+                const auto queues = cache.queues(
+                    tinyWorkload(seed), hours(6), hours(24));
+                ASSERT_TRUE(queues.isOk());
+            }
+        });
+    }
+    group.wait();
+
+    // Every lookup either hit or built; each distinct asset was
+    // built exactly once despite the contention. queues() resolves
+    // its trace through the cache too, so each iteration performs
+    // three lookups.
+    const std::size_t lookups =
+        static_cast<std::size_t>(kTasks) * kIters * 3;
+    EXPECT_EQ(cache.hits() + cache.misses(), lookups);
+    EXPECT_EQ(cache.misses(),
+              static_cast<std::size_t>(kSeeds) * 2);
+
+    // Hammered and fresh caches agree on the built content.
+    AssetCache fresh;
+    const auto a = cache.trace(tinyWorkload(2));
+    const auto b = fresh.trace(tinyWorkload(2));
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(b.isOk());
+    EXPECT_EQ(a.value()->jobs().size(), b.value()->jobs().size());
 }
 
 } // namespace

@@ -117,5 +117,73 @@ TEST(Sweep, RerunIsIdempotent)
     EXPECT_DOUBLE_EQ(sweep.result(0)->carbon_kg, first);
 }
 
+TEST(Sweep, GroupCellsGetConsecutiveIndices)
+{
+    SweepEngine sweep;
+    EXPECT_EQ(sweep.add(cell("NoWait")), 0u);
+    EXPECT_EQ(sweep.addGroup({cell("Carbon-Time", 1),
+                              cell("Carbon-Time", 2),
+                              cell("Carbon-Time", 3)}),
+              1u);
+    EXPECT_EQ(sweep.add(cell("Lowest-Window")), 4u);
+    EXPECT_EQ(sweep.size(), 5u);
+    EXPECT_EQ(sweep.groupCount(), 3u);
+
+    sweep.run();
+    EXPECT_EQ(sweep.failureCount(), 0u);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        ASSERT_TRUE(sweep.ran(i));
+        ASSERT_TRUE(sweep.result(i).isOk())
+            << sweep.result(i).status().toString();
+    }
+}
+
+TEST(Sweep, SeedReplicasVarySeedsAndLabels)
+{
+    SweepEngine sweep;
+    EXPECT_EQ(sweep.addSeedReplicas(cell("Carbon-Time", 10), 3),
+              0u);
+    EXPECT_EQ(sweep.size(), 3u);
+    EXPECT_EQ(sweep.groupCount(), 1u);
+
+    // Replica r shifts the seeds by +r and tags the label.
+    EXPECT_EQ(sweep.spec(0).workload.options.seed, 10u);
+    EXPECT_EQ(sweep.spec(1).workload.options.seed, 11u);
+    EXPECT_EQ(sweep.spec(2).workload.options.seed, 12u);
+    EXPECT_EQ(sweep.spec(1).carbon.seed,
+              sweep.spec(0).carbon.seed + 1);
+    EXPECT_NE(sweep.spec(2).label.find("seed=12"),
+              std::string::npos);
+
+    sweep.run();
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        ASSERT_TRUE(sweep.result(i).isOk())
+            << sweep.result(i).status().toString();
+    }
+    // Different seeds -> genuinely different worlds.
+    EXPECT_NE(sweep.result(0)->carbon_kg,
+              sweep.result(1)->carbon_kg);
+}
+
+TEST(Sweep, NestedGroupRunMatchesFlatRun)
+{
+    SweepEngine flat(2);
+    SweepEngine grouped(2);
+    grouped.addSeedReplicas(cell("Carbon-Time", 1), 3);
+    for (std::size_t i = 0; i < grouped.size(); ++i)
+        flat.add(grouped.spec(i)); // same specs, flat fan-out
+
+    flat.run();
+    grouped.run();
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+        ASSERT_TRUE(flat.result(i).isOk());
+        ASSERT_TRUE(grouped.result(i).isOk());
+        EXPECT_DOUBLE_EQ(flat.result(i)->carbon_kg,
+                         grouped.result(i)->carbon_kg);
+        EXPECT_DOUBLE_EQ(flat.result(i)->totalCost(),
+                         grouped.result(i)->totalCost());
+    }
+}
+
 } // namespace
 } // namespace gaia

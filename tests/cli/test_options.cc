@@ -188,5 +188,25 @@ TEST(CliOptions, NewFlagValidation)
         "non-negative"));
 }
 
+TEST(CliOptions, ThreadsFlag)
+{
+    EXPECT_EQ(parse({}).threads, 0u); // 0 = auto-detect
+    EXPECT_EQ(parse({"--threads", "4"}).threads, 4u);
+}
+
+TEST(CliOptions, ThreadsFlagRejectsGarbage)
+{
+    EXPECT_TRUE(messageContains(parseError({"--threads", "abc"}),
+                                "--threads"));
+    EXPECT_TRUE(messageContains(parseError({"--threads", "4x"}),
+                                "--threads"));
+    EXPECT_TRUE(messageContains(parseError({"--threads", "0"}),
+                                "positive"));
+    EXPECT_TRUE(messageContains(parseError({"--threads", "-2"}),
+                                "positive"));
+    EXPECT_TRUE(messageContains(parseError({"--threads"}),
+                                "--threads"));
+}
+
 } // namespace
 } // namespace gaia

@@ -1,0 +1,209 @@
+/** @file Tests for PlanCache: semantics, counters, concurrency,
+ *  and memoized-vs-direct policy equivalence. */
+
+#include "core/plan_cache.h"
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/executor.h"
+#include "common/time.h"
+#include "core/cis.h"
+#include "core/policies.h"
+
+namespace gaia {
+namespace {
+
+TEST(PlanCacheFlag, TogglesProcessWideMemoization)
+{
+    EXPECT_TRUE(planMemoizationEnabled());
+    setPlanMemoization(false);
+    EXPECT_FALSE(planMemoizationEnabled());
+    setPlanMemoization(true);
+    EXPECT_TRUE(planMemoizationEnabled());
+}
+
+TEST(PlanCache, WindowBestPicksFirstMinimum)
+{
+    PlanCache cache;
+    const PlanCache::BoundaryKey key{hours(1), 4, hours(2)};
+    // Slots 1 and 3 tie for the minimum; strict < keeps slot 1.
+    const auto slot_value = [](Seconds b) {
+        const double values[] = {9.0, 2.0, 5.0, 2.0, 7.0};
+        return values[b / kSecondsPerHour];
+    };
+    const PlanCache::WindowBest best =
+        cache.windowBest(key, slot_value);
+    EXPECT_EQ(best.start, hours(1));
+    EXPECT_EQ(best.integral, 2.0);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    // Second lookup is a hit and must not recompute.
+    const PlanCache::WindowBest again = cache.windowBest(
+        key, [](Seconds) -> double { ADD_FAILURE(); return 0.0; });
+    EXPECT_EQ(again.start, best.start);
+    EXPECT_EQ(again.integral, best.integral);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PlanCache, SlotTableComputesEachSlotOnce)
+{
+    PlanCache cache;
+    int computes = 0;
+    const auto slot_value = [&](Seconds b) {
+        ++computes;
+        return static_cast<double>(b);
+    };
+
+    // First key covers slots [1, 4); filling also covers the gap
+    // from slot 0, so 4 computations.
+    cache.windowBest({hours(1), 3, hours(2)}, slot_value);
+    EXPECT_EQ(computes, 4);
+
+    // An overlapping key of the same length extends by one slot.
+    const std::vector<double> &integrals = cache.startIntegrals(
+        {hours(2), 3, hours(2)}, slot_value);
+    EXPECT_EQ(computes, 5);
+    ASSERT_EQ(integrals.size(), 3u);
+    EXPECT_EQ(integrals[0], static_cast<double>(hours(2)));
+    EXPECT_EQ(integrals[2], static_cast<double>(hours(4)));
+
+    // A different window length gets its own table.
+    cache.windowBest({hours(1), 2, hours(5)}, slot_value);
+    EXPECT_EQ(computes, 8);
+}
+
+TEST(PlanCache, StartIntegralsReferenceSurvivesLaterInserts)
+{
+    PlanCache cache;
+    const auto slot_value = [](Seconds b) {
+        return static_cast<double>(b) + 0.5;
+    };
+    const std::vector<double> &first =
+        cache.startIntegrals({hours(1), 2, hours(3)}, slot_value);
+    const std::vector<double> expected = first; // copy now
+
+    for (int k = 0; k < 200; ++k) {
+        cache.startIntegrals(
+            {hours(1 + k), 2, hours(3)}, slot_value);
+    }
+    EXPECT_EQ(first, expected);
+}
+
+TEST(PlanCache, MinSlotCachesPerRange)
+{
+    PlanCache cache;
+    int computes = 0;
+    const auto compute = [&] {
+        ++computes;
+        return SlotIndex{7};
+    };
+    EXPECT_EQ(cache.minSlot(2, 9, compute), 7);
+    EXPECT_EQ(cache.minSlot(2, 9, compute), 7);
+    EXPECT_EQ(computes, 1);
+    EXPECT_EQ(cache.minSlot(3, 9, compute), 7);
+    EXPECT_EQ(computes, 2);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PlanCache, ZeroLookupSummaryIsSane)
+{
+    PlanCache cache;
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    std::ostringstream out;
+    cache.printSummary(out);
+    EXPECT_NE(out.str().find("0 lookups"), std::string::npos);
+}
+
+TEST(PlanCache, ConcurrentHammerKeepsCountersConsistent)
+{
+    PlanCache cache;
+    Executor pool(4);
+    const int kTasks = 8;
+    const int kIters = 200;
+    const int kKeys = 16;
+
+    TaskGroup group(pool);
+    for (int t = 0; t < kTasks; ++t) {
+        group.run([&] {
+            for (int i = 0; i < kIters; ++i) {
+                const Seconds first = hours(1 + i % kKeys);
+                const PlanCache::BoundaryKey key{first, 3,
+                                                 hours(2)};
+                const auto slot_value = [](Seconds b) {
+                    return static_cast<double>(b) * 2.0;
+                };
+                const PlanCache::WindowBest best =
+                    cache.windowBest(key, slot_value);
+                // Values double with the boundary, so the first
+                // candidate always wins.
+                ASSERT_EQ(best.start, first);
+                const std::vector<double> &integrals =
+                    cache.startIntegrals(key, slot_value);
+                ASSERT_EQ(integrals.size(), 3u);
+                ASSERT_EQ(integrals[0],
+                          static_cast<double>(first) * 2.0);
+                ASSERT_EQ(cache.minSlot(
+                              slotOf(first), slotOf(first) + 3,
+                              [&] { return slotOf(first); }),
+                          slotOf(first));
+            }
+        });
+    }
+    group.wait();
+
+    const std::uint64_t lookups =
+        static_cast<std::uint64_t>(kTasks) * kIters * 3;
+    EXPECT_EQ(cache.hits() + cache.misses(), lookups);
+    // Each distinct (key, kind) computes exactly once.
+    EXPECT_EQ(cache.misses(),
+              static_cast<std::uint64_t>(kKeys) * 3);
+}
+
+/** Jobs planned with and without the cache must match bit for bit
+ *  (the invariant the golden CSV tests pin end to end). */
+TEST(PlanCacheEquivalence, MemoizedPlansMatchDirect)
+{
+    const std::vector<double> hourly = {400, 120, 330, 50,  210, 600,
+                                        90,  480, 70,  310, 150, 260,
+                                        30,  520, 440, 80,  360, 200};
+    const CarbonTrace trace("test", hourly);
+    const CarbonInfoService cis(trace);
+    const QueueSpec queue{"q", 3 * kSecondsPerDay, hours(6),
+                          hours(2)};
+
+    const LowestSlotPolicy lowest_slot;
+    const LowestWindowPolicy lowest_window;
+    const CarbonTimePolicy carbon_time;
+    const std::vector<const SchedulingPolicy *> policies = {
+        &lowest_slot, &lowest_window, &carbon_time};
+
+    // Arrivals at slot starts, mid-slot, and just before slot ends.
+    const std::vector<Seconds> arrivals = {
+        0, 1, 599, 1800, 3599, 3600, 5000, 7205, 10799, 14400};
+
+    PlanCache cache;
+    for (const SchedulingPolicy *policy : policies) {
+        for (const Seconds now : arrivals) {
+            const Job job{1, now, hours(1), 1};
+            PlanContext direct{now, &cis, &queue};
+            PlanContext memo{now, &cis, &queue};
+            memo.cache = &cache;
+            const SchedulePlan a = policy->plan(job, direct);
+            const SchedulePlan b = policy->plan(job, memo);
+            EXPECT_EQ(a.plannedStart(), b.plannedStart())
+                << policy->name() << " at now=" << now;
+            EXPECT_EQ(a.plannedEnd(), b.plannedEnd())
+                << policy->name() << " at now=" << now;
+        }
+    }
+    // The repeat arrivals in each slot actually exercised hits.
+    EXPECT_GT(cache.hits(), 0u);
+}
+
+} // namespace
+} // namespace gaia
