@@ -22,38 +22,85 @@
 #include "analysis/parallel.h"
 #include "common/csv.h"
 #include "common/executor.h"
+#include "common/obs.h"
 #include "common/strings.h"
 #include "common/time.h"
 #include "core/plan_cache.h"
 
 namespace gaia::bench {
 
+/** Observability sinks requested on the bench command line;
+ *  written once at process exit. */
+struct ObsSinkConfig
+{
+    std::string metrics_out;
+    std::string trace_out;
+    bool verbose = false;
+};
+
+inline ObsSinkConfig &
+obsSinkConfig()
+{
+    static ObsSinkConfig config;
+    return config;
+}
+
+/**
+ * atexit hook writing the requested observability sinks. Registered
+ * while parsing flags, i.e. before the lazily started executor
+ * singleton exists, so exit-time ordering joins the workers (and
+ * flushes their counters) before the snapshot is taken.
+ */
+inline void
+writeObsSinksAtExit()
+{
+    const ObsSinkConfig &config = obsSinkConfig();
+    if (!config.metrics_out.empty())
+        obs::writeMetricsJson(config.metrics_out);
+    if (!config.trace_out.empty())
+        obs::writeTraceJson(config.trace_out);
+    if (config.verbose)
+        obs::printMetricsSummary(std::cout,
+                                 obs::metricsSnapshot());
+}
+
 /**
  * Parse the shared bench flags: `--threads N` caps parallelFor's
  * worker count (overriding GAIA_THREADS; malformed or non-positive
  * values exit with code 2), `--no-memo` disables policy-plan
- * memoization, and `--no-pool` routes parallelFor onto per-call
- * fork/join threads instead of the persistent executor. Unknown
- * arguments are ignored so individual benches can add their own.
+ * memoization, `--no-pool` routes parallelFor onto per-call
+ * fork/join threads instead of the persistent executor,
+ * `--metrics-out PATH` / `--trace-out PATH` write the metrics
+ * snapshot / Chrome trace JSON at process exit, and `--verbose`
+ * prints the metrics summary table at exit. Flags also accept the
+ * `--flag=value` spelling. Unknown arguments are ignored so
+ * individual benches can add their own.
  */
 inline void
 parseBenchArgs(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+    const std::vector<std::string> args = expandEqualsArgs(
+        std::vector<std::string>(argv + 1, argv + argc));
+    const auto need_value = [&](std::size_t i,
+                                const std::string &flag) {
+        if (i + 1 >= args.size()) {
+            std::cerr << argv[0] << ": " << flag
+                      << " needs a value\n";
+            std::exit(2);
+        }
+        return args[i + 1];
+    };
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
         if (arg == "--threads") {
-            if (i + 1 >= argc) {
-                std::cerr << argv[0]
-                          << ": --threads needs a value\n";
-                std::exit(2);
-            }
+            const std::string value = need_value(i++, arg);
             char *end = nullptr;
-            const long n = std::strtol(argv[++i], &end, 10);
-            if (end == argv[i] || *end != '\0' || n <= 0) {
+            const long n = std::strtol(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0' || n <= 0) {
                 std::cerr << argv[0]
                           << ": --threads expects a positive "
                              "integer, got '"
-                          << argv[i] << "'\n";
+                          << value << "'\n";
                 std::exit(2);
             }
             setParallelThreads(static_cast<unsigned>(n));
@@ -61,6 +108,24 @@ parseBenchArgs(int argc, char **argv)
             setPlanMemoization(false);
         } else if (arg == "--no-pool") {
             setExecutorPoolEnabled(false);
+        } else if (arg == "--metrics-out" || arg == "--trace-out" ||
+                   arg == "--verbose") {
+            ObsSinkConfig &config = obsSinkConfig();
+            const bool first_use = config.metrics_out.empty() &&
+                                   config.trace_out.empty() &&
+                                   !config.verbose;
+            if (arg == "--verbose")
+                config.verbose = true;
+            else if (arg == "--metrics-out")
+                config.metrics_out = need_value(i++, arg);
+            else
+                config.trace_out = need_value(i++, arg);
+            if (first_use)
+                std::atexit(writeObsSinksAtExit);
+            obs::setDetailedTiming(true);
+            obs::setThreadTrackName("main");
+            if (!config.trace_out.empty())
+                obs::setTracingEnabled(true);
         }
     }
 }

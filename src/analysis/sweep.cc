@@ -6,8 +6,18 @@
 
 #include "analysis/parallel.h"
 #include "common/logging.h"
+#include "common/obs.h"
 
 namespace gaia {
+
+namespace {
+
+obs::Counter &c_cells_run = obs::counter("sweep.cells_run");
+obs::Counter &c_cell_errors = obs::counter("sweep.cell_errors");
+obs::Histogram &h_cell_seconds =
+    obs::histogram("sweep.cell_seconds");
+
+} // namespace
 
 std::size_t
 SweepEngine::add(ScenarioSpec spec)
@@ -61,12 +71,29 @@ SweepEngine::spec(std::size_t index) const
 void
 SweepEngine::runCell(std::size_t index)
 {
-    results_[index] = runScenario(specs_[index], cache_);
+    const obs::Span span("sweep.cell", specs_[index].label);
+    if (obs::detailedTimingEnabled()) {
+        // The per-cell clock reads are individually cheap but the
+        // golden-scale cells are not; keep the uninstrumented path
+        // free of them (see obs.h, "Detailed timing").
+        const auto begin = std::chrono::steady_clock::now();
+        results_[index] = runScenario(specs_[index], cache_);
+        h_cell_seconds.observe(
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - begin)
+                .count());
+    } else {
+        results_[index] = runScenario(specs_[index], cache_);
+    }
+    c_cells_run.add();
+    if (!(*results_[index]).isOk())
+        c_cell_errors.add();
 }
 
 void
 SweepEngine::run()
 {
+    const obs::Span span("sweep.run");
     const auto begin = std::chrono::steady_clock::now();
     results_.assign(specs_.size(), std::nullopt);
     parallelFor(

@@ -18,6 +18,15 @@
  * work-stealing executor — so a sweep with fewer groups than cores
  * still saturates the machine. Replicas are ordinary cells with
  * consecutive flat indices, so result(i) works unchanged.
+ *
+ * Thread-safety and ownership: a SweepEngine is a single-owner
+ * object — add() and run() must be called from one thread, and
+ * run() must finish before result()/printSummary() are read. The
+ * parallelism is internal: run() distributes cells over the
+ * executor's workers, each writing only its own result slot, and
+ * the engine owns every spec and result it hands out references to
+ * (a Result<SimulationResult> reference stays valid until the
+ * engine is destroyed or run again).
  */
 
 #ifndef GAIA_ANALYSIS_SWEEP_H

@@ -22,6 +22,7 @@
 #include "cli/options.h"
 #include "cli/runner.h"
 #include "common/executor.h"
+#include "common/obs.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/policy_factory.h"
@@ -61,11 +62,34 @@ main(int argc, char **argv)
     if (options.threads > 0)
         setParallelThreads(options.threads);
 
+    // Observability sinks: tracing and the clock-heavy
+    // instrumentation points only run when a sink asked for them.
+    const bool wants_obs =
+        !options.metrics_out.empty() || !options.trace_out.empty();
+    if (wants_obs) {
+        obs::setDetailedTiming(true);
+        obs::setThreadTrackName("main");
+    }
+    if (!options.trace_out.empty())
+        obs::setTracingEnabled(true);
+
     RunArtifacts artifacts;
     Result<SimulationResult> run =
         runFromOptions(options, &artifacts);
+
+    // Sinks are written even when the run failed — a partial trace
+    // is exactly what you want while diagnosing the failure.
+    bool sinks_ok = true;
+    if (!options.metrics_out.empty())
+        sinks_ok &= obs::writeMetricsJson(options.metrics_out);
+    if (!options.trace_out.empty())
+        sinks_ok &= obs::writeTraceJson(options.trace_out);
+
     if (!run.isOk())
         return reportError(run.status());
+    if (!sinks_ok)
+        return reportError(Status::invalidArgument(
+            "failed to write observability sink(s)"));
     const SimulationResult result = std::move(run).value();
 
     TextTable summary("gaia_run summary",
@@ -96,8 +120,18 @@ main(int argc, char **argv)
                     std::to_string(result.eviction_count)});
     summary.print(std::cout);
 
+    if (options.verbose) {
+        std::cout << "\n";
+        obs::printMetricsSummary(std::cout, obs::metricsSnapshot());
+    }
+
     std::cout << "\nWrote " << artifacts.aggregate_csv << ", "
               << artifacts.details_csv << ", "
-              << artifacts.allocation_csv << "\n";
+              << artifacts.allocation_csv;
+    if (!options.metrics_out.empty())
+        std::cout << ", " << options.metrics_out;
+    if (!options.trace_out.empty())
+        std::cout << ", " << options.trace_out;
+    std::cout << "\n";
     return 0;
 }

@@ -99,15 +99,24 @@ cliUsage()
            "phases (default: auto)\n"
            "  --output-dir DIR      CSV output directory "
            "(default gaia_results)\n"
+           "  --metrics-out PATH    write a metrics-snapshot JSON "
+           "after the run\n"
+           "  --trace-out PATH      write a Chrome/Perfetto "
+           "trace_event JSON after the run\n"
+           "  --verbose             print the metrics summary "
+           "table after the run\n"
            "  --list-policies       print policy names and exit\n"
-           "  -h, --help            this text\n";
+           "  -h, --help            this text\n"
+           "\nAll flags also accept the --flag=value spelling.\n";
     return oss.str();
 }
 
 Result<CliAction>
-parseCliOptions(const std::vector<std::string> &args,
+parseCliOptions(const std::vector<std::string> &raw_args,
                 CliOptions &options)
 {
+    const std::vector<std::string> args =
+        expandEqualsArgs(raw_args);
     const auto need_value =
         [&](std::size_t i,
             const std::string &flag) -> Result<std::string> {
@@ -231,6 +240,14 @@ parseCliOptions(const std::vector<std::string> &args,
         } else if (arg == "--output-dir") {
             GAIA_TRY_ASSIGN(options.output_dir,
                             need_value(i++, arg));
+        } else if (arg == "--metrics-out") {
+            GAIA_TRY_ASSIGN(options.metrics_out,
+                            need_value(i++, arg));
+        } else if (arg == "--trace-out") {
+            GAIA_TRY_ASSIGN(options.trace_out,
+                            need_value(i++, arg));
+        } else if (arg == "--verbose") {
+            options.verbose = true;
         } else {
             return Status::invalidArgument("unknown argument '", arg,
                                            "'\n\n", cliUsage());

@@ -82,6 +82,13 @@ struct CliOptions
     /** Output directory for aggregate/details/allocation CSVs. */
     std::string output_dir = "gaia_results";
 
+    /** Metrics-snapshot JSON sink ("" = disabled). */
+    std::string metrics_out;
+    /** Chrome/Perfetto trace JSON sink ("" = disabled). */
+    std::string trace_out;
+    /** Print the metrics summary table after the run. */
+    bool verbose = false;
+
     /** Resolved strategy enum; NotFound on an unknown name. */
     Result<ResourceStrategy> resolvedStrategy() const;
 };
@@ -95,7 +102,8 @@ enum class CliAction
 };
 
 /**
- * Parse argv into options. Malformed input (unknown flag, missing
+ * Parse argv into options. Both `--flag value` and `--flag=value`
+ * spellings are accepted. Malformed input (unknown flag, missing
  * or out-of-range value) yields an error Status whose message is
  * ready to print; --help / --list-policies short-circuit to their
  * CliAction without validating the rest.

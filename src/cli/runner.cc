@@ -4,6 +4,7 @@
 
 #include <filesystem>
 
+#include "analysis/sweep.h"
 #include "common/csv.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -195,9 +196,14 @@ runFromOptions(const CliOptions &options, RunArtifacts *artifacts)
 {
     GAIA_TRY_ASSIGN(const ScenarioSpec spec,
                     scenarioFromOptions(options));
-    AssetCache cache;
-    GAIA_TRY_ASSIGN(SimulationResult result,
-                    runScenario(spec, cache));
+    // A one-cell sweep rather than a direct runScenario() call: the
+    // cell rides the shared executor, so the observability layer
+    // sees the same sweep.cell / executor.task structure a
+    // multi-cell sweep produces.
+    SweepEngine sweep;
+    sweep.add(spec);
+    sweep.run();
+    GAIA_TRY_ASSIGN(SimulationResult result, sweep.result(0));
     const RunArtifacts files =
         writeRunArtifacts(result, options.output_dir);
     if (artifacts != nullptr)

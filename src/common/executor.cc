@@ -1,12 +1,20 @@
 #include "common/executor.h"
 
 #include <cstdlib>
+#include <string>
 
 #include "common/logging.h"
+#include "common/obs.h"
 
 namespace gaia {
 
 namespace {
+
+// Registered once at load so the executor section always appears in
+// metrics output; updates are lock-free stripe increments.
+obs::Counter &c_tasks_run = obs::counter("executor.tasks_run");
+obs::Counter &c_tasks_stolen = obs::counter("executor.tasks_stolen");
+obs::Gauge &g_queue_depth = obs::gauge("executor.queue_depth");
 
 /** Process-wide worker-count override; 0 means "not set". */
 std::atomic<unsigned> thread_override{0};
@@ -121,7 +129,8 @@ Executor::submit(Task task)
         const std::lock_guard<std::mutex> lock(target->mutex);
         target->tasks.push_back(std::move(task));
     }
-    queued_.fetch_add(1, std::memory_order_release);
+    g_queue_depth.set(static_cast<std::int64_t>(
+        queued_.fetch_add(1, std::memory_order_release) + 1));
     {
         const std::lock_guard<std::mutex> lock(idle_mutex_);
     }
@@ -153,6 +162,7 @@ Executor::popTask(Task &out)
             out = std::move(victim.tasks.front());
             victim.tasks.pop_front();
             queued_.fetch_sub(1, std::memory_order_relaxed);
+            c_tasks_stolen.add();
             return true;
         }
     }
@@ -163,7 +173,9 @@ void
 Executor::runTask(Task &task)
 {
     TaskGroup *group = task.group;
+    c_tasks_run.add();
     try {
+        const obs::Span span("executor.task");
         task.fn();
     } catch (...) {
         group->recordError(std::current_exception());
@@ -189,6 +201,7 @@ Executor::workerLoop(unsigned index)
 {
     tl_executor = this;
     tl_worker_index = index;
+    obs::setThreadTrackName("worker " + std::to_string(index));
     for (;;) {
         Task task;
         if (popTask(task)) {

@@ -25,6 +25,23 @@
  * The worker-count resolution (setParallelThreads / GAIA_THREADS /
  * hardware concurrency) lives here too, shared by parallelFor and
  * the pool sizing.
+ *
+ * Thread-safety and ownership contracts:
+ *  - Executor::instance() is safe to call from any thread; the pool
+ *    owns its workers and outlives every stack-scoped TaskGroup.
+ *  - TaskGroup::run() may be called from any thread, including from
+ *    inside a task; a single TaskGroup's run()/wait() calls must
+ *    come from one owning thread at a time (the group is a
+ *    single-owner handle, not a shared queue).
+ *  - Submitted callables are owned by the pool until they finish;
+ *    they may capture the owner's stack by reference because wait()
+ *    — and the draining destructor — do not return before every
+ *    task of the group has run. The first exception a group's task
+ *    throws is rethrown from wait(); the destructor drains without
+ *    rethrowing.
+ *  - setParallelThreads / setExecutorPoolEnabled mutate process
+ *    globals and belong in main() before parallel work starts, not
+ *    in concurrent code.
  */
 
 #ifndef GAIA_COMMON_EXECUTOR_H

@@ -17,6 +17,14 @@
  * without per-element bookkeeping. Iterators are raw pointers;
  * the usual vector idioms (range-for, std::sort over begin()/end(),
  * operator[], front/back) work unchanged.
+ *
+ * Thread-safety and ownership: SmallVector owns its elements and
+ * (when spilled) its heap block exclusively; there is no sharing
+ * between instances — copies are deep. Like std::vector it is not
+ * internally synchronized: concurrent const access is fine, any
+ * mutation needs external locking, and growth invalidates
+ * iterators and references (elements may move from the inline
+ * buffer to the heap).
  */
 
 #ifndef GAIA_COMMON_SMALL_VECTOR_H

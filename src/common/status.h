@@ -23,6 +23,15 @@
  *     GAIA_TRY(statusExpr);              // return on error
  *     GAIA_TRY_ASSIGN(lhs, resultExpr);  // unwrap or return
  *     GAIA_REQUIRE(cond, "message ", x); // invalid-argument check
+ *
+ * Thread-safety and ownership: Status and Result<T> are plain value
+ * types with no global state. Each instance owns its payload
+ * (Result<T> owns the T it wraps; moving transfers it); the error
+ * message, once constructed, is immutable. Distinct instances —
+ * including copies of the same error — may be read, copied, and
+ * destroyed concurrently from different threads without
+ * synchronization; mutating one instance from two threads needs
+ * external locking, like any value type.
  */
 
 #ifndef GAIA_COMMON_STATUS_H

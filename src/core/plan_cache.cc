@@ -3,13 +3,42 @@
 #include <atomic>
 #include <ostream>
 
+#include "common/obs.h"
+
 namespace gaia {
 
 namespace {
 
 std::atomic<bool> memoization_enabled{true};
 
+// Process-wide aggregates across every PlanCache instance (one per
+// simulated cell); registered at load so they always appear in
+// metrics output.
+obs::Counter &c_hits = obs::counter("plan_cache.hits");
+obs::Counter &c_misses = obs::counter("plan_cache.misses");
+obs::Histogram &h_fill =
+    obs::histogram("plan_cache.fill_seconds");
+
 } // namespace
+
+PlanCache::~PlanCache()
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    double fill = 0.0;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        hits = hits_;
+        misses = misses_;
+        fill = fill_seconds_;
+    }
+    if (hits > 0)
+        c_hits.add(hits);
+    if (misses > 0)
+        c_misses.add(misses);
+    if (fill > 0.0)
+        h_fill.observe(fill);
+}
 
 void
 setPlanMemoization(bool enabled)

@@ -54,6 +54,7 @@
 #ifndef GAIA_CORE_PLAN_CACHE_H
 #define GAIA_CORE_PLAN_CACHE_H
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -62,6 +63,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/obs.h"
 #include "common/time.h"
 
 namespace gaia {
@@ -107,6 +109,14 @@ class PlanCache
     PlanCache() = default;
     PlanCache(const PlanCache &) = delete;
     PlanCache &operator=(const PlanCache &) = delete;
+
+    /**
+     * Flushes this instance's totals into the process-wide metrics
+     * registry (plan_cache.hits / .misses counters; one
+     * plan_cache.fill_seconds sample when detailed timing ran), so
+     * per-cell caches aggregate into one sweep-wide view.
+     */
+    ~PlanCache();
 
     /**
      * The first boundary candidate minimizing the forecast integral
@@ -253,11 +263,25 @@ class PlanCache
         const auto base =
             static_cast<std::int64_t>(key.first / kSecondsPerHour);
         const std::int64_t end = base + key.count;
-        while (static_cast<std::int64_t>(table.size()) < end) {
-            const Seconds b =
-                static_cast<Seconds>(table.size()) *
-                kSecondsPerHour;
-            table.push_back(compute_slot(b));
+        if (static_cast<std::int64_t>(table.size()) < end) {
+            // Fill timing is clock-heavy relative to the fill loop,
+            // so it only runs when a metrics/trace sink asked for it.
+            const bool timed = obs::detailedTimingEnabled();
+            const auto fill_start =
+                timed ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{};
+            while (static_cast<std::int64_t>(table.size()) < end) {
+                const Seconds b =
+                    static_cast<Seconds>(table.size()) *
+                    kSecondsPerHour;
+                table.push_back(compute_slot(b));
+            }
+            if (timed)
+                fill_seconds_ +=
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() -
+                        fill_start)
+                        .count();
         }
         return table.data() + base;
     }
@@ -274,6 +298,9 @@ class PlanCache
         min_slot_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    /** Total miss-fill wall time; accumulated only while
+     *  obs::detailedTimingEnabled(). */
+    double fill_seconds_ = 0.0;
 };
 
 } // namespace gaia

@@ -4,8 +4,20 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/obs.h"
 
 namespace gaia {
+
+namespace {
+
+// Process-wide aggregates across every simulation; per-event state
+// stays in plain members and flushes here once at finalize().
+obs::Counter &c_events = obs::counter("sim.events_dispatched");
+obs::Counter &c_jobs_completed = obs::counter("sim.jobs_completed");
+obs::Counter &c_jobs_evicted = obs::counter("sim.jobs_evicted");
+obs::Counter &c_evictions = obs::counter("sim.evictions");
+
+} // namespace
 
 OnlineScheduler::OnlineScheduler(const SchedulingPolicy &policy,
                                  const QueueConfig &queues,
@@ -58,6 +70,7 @@ OnlineScheduler::reserveJobs(std::size_t count)
 void
 OnlineScheduler::onEvent(const SimEvent &event)
 {
+    ++events_dispatched_;
     const auto idx = static_cast<std::size_t>(event.a);
     switch (event.kind) {
       case EvArrival:
@@ -151,7 +164,10 @@ OnlineScheduler::onArrival(std::size_t idx)
     ctx.queue = &queue;
     ctx.cache =
         planMemoizationEnabled() ? plan_cache_.get() : nullptr;
-    state.plan = policy_.plan(job, ctx);
+    {
+        const obs::Span span("policy.plan");
+        state.plan = policy_.plan(job, ctx);
+    }
 
     // Plan contract checks (see SchedulingPolicy::plan).
     GAIA_ASSERT(state.plan.totalRunTime() == job.length,
@@ -624,6 +640,18 @@ OnlineScheduler::finalize()
     result.region = cis_.trace().region();
     result.workload = workload_;
     finalizeInto(result);
+
+    // Flush this simulation's totals into the process-wide metrics.
+    c_events.add(events_dispatched_);
+    c_jobs_completed.add(result.outcomes.size());
+    c_evictions.add(result.eviction_count);
+    std::uint64_t evicted_jobs = 0;
+    for (const JobOutcome &o : result.outcomes)
+        if (o.evictions > 0)
+            ++evicted_jobs;
+    if (evicted_jobs > 0)
+        c_jobs_evicted.add(evicted_jobs);
+
     return result;
 }
 

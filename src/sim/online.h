@@ -200,6 +200,10 @@ class OnlineScheduler : private EventQueue::Sink
     Seconds horizon_ = 0;
     bool horizon_overrun_warned_ = false;
     bool finalized_ = false;
+    /** Events seen by onEvent(); a plain member (no atomic — the
+     *  dispatch loop is single-threaded) flushed to the process-wide
+     *  sim.events_dispatched counter once at finalize(). */
+    std::uint64_t events_dispatched_ = 0;
 };
 
 } // namespace gaia

@@ -208,5 +208,44 @@ TEST(CliOptions, ThreadsFlagRejectsGarbage)
                                 "--threads"));
 }
 
+TEST(CliOptions, ObservabilitySinkFlags)
+{
+    const CliOptions defaults = parse({});
+    EXPECT_TRUE(defaults.metrics_out.empty());
+    EXPECT_TRUE(defaults.trace_out.empty());
+    EXPECT_FALSE(defaults.verbose);
+
+    const CliOptions o =
+        parse({"--metrics-out", "m.json", "--trace-out", "t.json",
+               "--verbose"});
+    EXPECT_EQ(o.metrics_out, "m.json");
+    EXPECT_EQ(o.trace_out, "t.json");
+    EXPECT_TRUE(o.verbose);
+
+    EXPECT_TRUE(messageContains(parseError({"--metrics-out"}),
+                                "--metrics-out"));
+    EXPECT_TRUE(messageContains(parseError({"--trace-out"}),
+                                "--trace-out"));
+}
+
+TEST(CliOptions, EqualsSpellingMatchesSpaceSpelling)
+{
+    const CliOptions o = parse(
+        {"--policy=Lowest-Window", "--jobs=500",
+         "--trace-out=t.json", "--waiting=3x48", "--threads=4"});
+    EXPECT_EQ(o.policy, "Lowest-Window");
+    EXPECT_EQ(o.jobs, 500u);
+    EXPECT_EQ(o.trace_out, "t.json");
+    EXPECT_EQ(o.short_wait, 3 * kSecondsPerHour);
+    EXPECT_EQ(o.long_wait, 48 * kSecondsPerHour);
+    EXPECT_EQ(o.threads, 4u);
+
+    // A value containing '=' splits only at the first one.
+    EXPECT_EQ(parse({"--output-dir=a=b"}).output_dir, "a=b");
+    // Unknown flags still error in the = spelling.
+    EXPECT_TRUE(messageContains(parseError({"--nonsense=1"}),
+                                "--nonsense"));
+}
+
 } // namespace
 } // namespace gaia

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for test assertions —
+ * enough to validate that the observability sinks emit
+ * syntactically correct JSON and to navigate objects/arrays, with
+ * no production dependencies. Not a general-purpose parser: numbers
+ * parse via strtod, strings handle the escapes our writers emit.
+ */
+
+#ifndef GAIA_TESTS_COMMON_JSON_LITE_H
+#define GAIA_TESTS_COMMON_JSON_LITE_H
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gaia::testing {
+
+struct JsonValue
+{
+    enum Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> fields;
+
+    const JsonValue &at(const std::string &key) const
+    {
+        auto it = fields.find(key);
+        if (it == fields.end())
+            throw std::runtime_error("missing JSON key: " + key);
+        return it->second;
+    }
+
+    bool has(const std::string &key) const
+    {
+        return fields.count(key) > 0;
+    }
+};
+
+class JsonParser
+{
+  public:
+    /** Parses `text`; throws std::runtime_error on malformed
+     *  input or trailing garbage. */
+    static JsonValue parse(const std::string &text)
+    {
+        JsonParser parser(text);
+        JsonValue value = parser.parseValue();
+        parser.skipSpace();
+        if (parser.pos_ != text.size())
+            parser.fail("trailing characters");
+        return value;
+    }
+
+  private:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw std::runtime_error("JSON error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" +
+                 peek() + "'");
+        ++pos_;
+    }
+
+    bool consumeLiteral(const char *literal)
+    {
+        std::size_t len = 0;
+        while (literal[len] != '\0')
+            ++len;
+        if (text_.compare(pos_, len, literal) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    JsonValue parseValue()
+    {
+        skipSpace();
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"') {
+            JsonValue v;
+            v.kind = JsonValue::String;
+            v.text = parseString();
+            return v;
+        }
+        if (consumeLiteral("true")) {
+            JsonValue v;
+            v.kind = JsonValue::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (consumeLiteral("false")) {
+            JsonValue v;
+            v.kind = JsonValue::Bool;
+            return v;
+        }
+        if (consumeLiteral("null"))
+            return JsonValue{};
+        return parseNumber();
+    }
+
+    JsonValue parseObject()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Object;
+        expect('{');
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipSpace();
+            std::string key = parseString();
+            skipSpace();
+            expect(':');
+            v.fields[std::move(key)] = parseValue();
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue parseArray()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Array;
+        expect('[');
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"':
+            case '\\':
+            case '/':
+                out += esc;
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("short \\u escape");
+                // Tests only assert validity; non-ASCII code
+                // points round-trip as '?'.
+                const std::string hex = text_.substr(pos_, 4);
+                pos_ += 4;
+                const long code =
+                    std::strtol(hex.c_str(), nullptr, 16);
+                out += code < 0x80 ? static_cast<char>(code) : '?';
+                break;
+            }
+            default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue parseNumber()
+    {
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double parsed = std::strtod(begin, &end);
+        if (end == begin)
+            fail("invalid number");
+        pos_ += static_cast<std::size_t>(end - begin);
+        JsonValue v;
+        v.kind = JsonValue::Number;
+        v.number = parsed;
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace gaia::testing
+
+#endif // GAIA_TESTS_COMMON_JSON_LITE_H

@@ -22,6 +22,7 @@
 
 #include "analysis/metrics.h"
 #include "analysis/sweep.h"
+#include "common/obs.h"
 #include "common/strings.h"
 
 namespace gaia {
@@ -93,7 +94,8 @@ cellValue(const SweepEngine &sweep, std::size_t index)
  * all six policies, on-demand only — same formatting as the bench's
  * CSV mirror.
  */
-TEST(GoldenOutputs, Fig08PolicyComparison)
+std::string
+buildFig08Csv()
 {
     ScenarioSpec base;
     base.workload = WorkloadSpec::week(1);
@@ -127,14 +129,20 @@ TEST(GoldenOutputs, Fig08PolicyComparison)
                      fmt(rows[i].carbon_kg, 4),
                      fmt(rows[i].wait_hours, 4)});
     }
-    checkGolden("fig08_small.csv", csv);
+    return csv;
+}
+
+TEST(GoldenOutputs, Fig08PolicyComparison)
+{
+    checkGolden("fig08_small.csv", buildFig08Csv());
 }
 
 /**
  * fig14 at golden scale: savings-per-waiting-hour for Lowest-Window
  * and Carbon-Time across (W_short, W_long) points, week-long trace.
  */
-TEST(GoldenOutputs, Fig14WaitingSweep)
+std::string
+buildFig14Csv()
 {
     ScenarioSpec base;
     base.workload = WorkloadSpec::week(1);
@@ -190,7 +198,12 @@ TEST(GoldenOutputs, Fig14WaitingSweep)
                          fmt(wait, 4)});
         }
     }
-    checkGolden("fig14_small.csv", csv);
+    return csv;
+}
+
+TEST(GoldenOutputs, Fig14WaitingSweep)
+{
+    checkGolden("fig14_small.csv", buildFig14Csv());
 }
 
 /**
@@ -199,7 +212,8 @@ TEST(GoldenOutputs, Fig14WaitingSweep)
  * Azure-VM trace — exercises the reserved pool, spot evictions,
  * restart accounting, and the seeded RNG.
  */
-TEST(GoldenOutputs, Fig19HybridSweep)
+std::string
+buildFig19Csv()
 {
     TraceBuildOptions options;
     options.job_count = 600;
@@ -251,7 +265,37 @@ TEST(GoldenOutputs, Fig19HybridSweep)
                              4)});
         }
     }
-    checkGolden("fig19_small.csv", csv);
+    return csv;
+}
+
+TEST(GoldenOutputs, Fig19HybridSweep)
+{
+    checkGolden("fig19_small.csv", buildFig19Csv());
+}
+
+/**
+ * The observability layer must be bitwise-transparent: re-running
+ * the three golden sweeps with tracing, detailed timing, and a
+ * deliberately tiny trace ring (to exercise wrap-around) produces
+ * the same CSV bytes as the uninstrumented runs pinned above.
+ */
+TEST(GoldenOutputs, InstrumentationLeavesCsvsByteIdentical)
+{
+    obs::setTraceRingCapacity(64);
+    obs::setTracingEnabled(true);
+    obs::setDetailedTiming(true);
+
+    const std::string fig08 = buildFig08Csv();
+    const std::string fig14 = buildFig14Csv();
+    const std::string fig19 = buildFig19Csv();
+
+    obs::setTracingEnabled(false);
+    obs::setDetailedTiming(false);
+    obs::setTraceRingCapacity(32768);
+
+    checkGolden("fig08_small.csv", fig08);
+    checkGolden("fig14_small.csv", fig14);
+    checkGolden("fig19_small.csv", fig19);
 }
 
 } // namespace
