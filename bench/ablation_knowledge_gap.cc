@@ -59,7 +59,7 @@ main()
         std::vector<double> carbon_kg(policies.size());
         parallelFor(policies.size(), [&](std::size_t i) {
             carbon_kg[i] =
-                simulate(trace, *policies[i], queues, cis)
+                bench::runChecked(trace, *policies[i], queues, cis)
                     .carbon_kg;
         });
 

@@ -52,9 +52,9 @@ main()
         const LowestWindowPolicy lw(c.granularity);
         const CarbonTimePolicy ct(c.granularity);
         const SimulationResult r_lw =
-            simulate(trace, lw, queues, cis);
+            bench::runChecked(trace, lw, queues, cis);
         const SimulationResult r_ct =
-            simulate(trace, ct, queues, cis);
+            bench::runChecked(trace, ct, queues, cis);
         table.addRow(c.label,
                      {r_lw.carbon_kg, r_lw.meanWaitingHours(),
                       r_ct.carbon_kg, r_ct.meanWaitingHours()});

@@ -22,12 +22,41 @@
 #include "analysis/parallel.h"
 #include "common/csv.h"
 #include "common/executor.h"
+#include "common/logging.h"
 #include "common/obs.h"
 #include "common/strings.h"
 #include "common/time.h"
 #include "core/plan_cache.h"
+#include "sim/simulator.h"
 
 namespace gaia::bench {
+
+/**
+ * Run a simulation through the checked API; a bench dies with the
+ * status message on an inconsistent setup (its inputs are code, so
+ * an error here is a bench bug, not user input).
+ */
+inline SimulationResult
+runChecked(const JobTrace &trace, const SchedulingPolicy &policy,
+           const QueueConfig &queues, const CarbonInfoSource &cis,
+           const ClusterConfig &cluster = {},
+           ResourceStrategy strategy = ResourceStrategy::OnDemandOnly,
+           const FaultInjector *faults = nullptr)
+{
+    SimulationSetup setup;
+    setup.trace = &trace;
+    setup.policy = &policy;
+    setup.queues = &queues;
+    setup.cis = &cis;
+    setup.cluster = cluster;
+    setup.strategy = strategy;
+    setup.faults = faults;
+    Result<SimulationResult> result = simulateChecked(setup);
+    if (!result.isOk())
+        fatal("simulation setup rejected: ",
+              result.status().message());
+    return std::move(result).value();
+}
 
 /** Observability sinks requested on the bench command line;
  *  written once at process exit. */

@@ -45,7 +45,7 @@ main()
     }
     const AdaptiveSRPolicy adaptive;
     rows.push_back(metricsOf(
-        "Adaptive-SR", simulate(trace, adaptive, queues, cis)));
+        "Adaptive-SR", bench::runChecked(trace, adaptive, queues, cis)));
 
     const double base_carbon = rows[0].carbon_kg;
     TextTable table("Carbon and waiting across the spectrum",
@@ -98,7 +98,7 @@ main()
     add_long("Ecovisor",
              runPolicy("Ecovisor", long_jobs, queues, cis));
     add_long("Adaptive-SR",
-             simulate(long_jobs, adaptive, queues, cis));
+             bench::runChecked(long_jobs, adaptive, queues, cis));
     add_long("Wait-Awhile",
              runPolicy("Wait-Awhile", long_jobs, queues, cis));
     long_table.print(std::cout);

@@ -28,7 +28,7 @@ namespace {
 /** Simulate a spatial partition: each region on-demand only. */
 double
 spatialCarbonKg(const SpatialPartition &partition,
-                const std::vector<const CarbonInfoService *> &cis,
+                const std::vector<const CarbonInfoSource *> &cis,
                 const SchedulingPolicy &policy,
                 const QueueConfig &queues)
 {
@@ -37,7 +37,7 @@ spatialCarbonKg(const SpatialPartition &partition,
          ++r) {
         if (partition.region_traces[r].empty())
             continue;
-        total += simulate(partition.region_traces[r], policy,
+        total += bench::runChecked(partition.region_traces[r], policy,
                           queues, *cis[r])
                      .carbon_kg;
     }
@@ -65,7 +65,7 @@ main()
     services.reserve(traces.size());
     for (const CarbonTrace &t : traces)
         services.emplace_back(t);
-    std::vector<const CarbonInfoService *> cis;
+    std::vector<const CarbonInfoSource *> cis;
     for (const CarbonInfoService &s : services)
         cis.push_back(&s);
 
@@ -82,8 +82,8 @@ main()
     std::string best_single_name;
     for (std::size_t r = 0; r < regions.size(); ++r) {
         const double nw =
-            simulate(trace, *nowait, queues, *cis[r]).carbon_kg;
-        const double ct = simulate(trace, *carbon_time, queues,
+            bench::runChecked(trace, *nowait, queues, *cis[r]).carbon_kg;
+        const double ct = bench::runChecked(trace, *carbon_time, queues,
                                    *cis[r])
                               .carbon_kg;
         table.addRow({"NoWait @ " + regionName(regions[r]),

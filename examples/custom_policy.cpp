@@ -16,8 +16,10 @@
 
 #include <iostream>
 #include <limits>
+#include <utility>
 
 #include "analysis/harness.h"
+#include "common/logging.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/policies.h"
@@ -114,8 +116,16 @@ main()
     for (const SchedulingPolicy *policy :
          std::initializer_list<const SchedulingPolicy *>{
              &no_wait, &carbon_time, &price_aware}) {
-        const SimulationResult r =
-            simulate(trace, *policy, queues, cis);
+        SimulationSetup setup;
+        setup.trace = &trace;
+        setup.policy = policy;
+        setup.queues = &queues;
+        setup.cis = &cis;
+        Result<SimulationResult> checked = simulateChecked(setup);
+        if (!checked.isOk())
+            fatal("simulation setup rejected: ",
+                  checked.status().message());
+        const SimulationResult r = std::move(checked).value();
         table.addRow(policy->name(),
                      {r.carbon_kg,
                       meanEnergyPrice(r, market.price),

@@ -19,7 +19,7 @@ calibratedQueues(const JobTrace &trace, Seconds short_wait,
 
 SimulationResult
 runPolicy(const std::string &policy_name, const JobTrace &trace,
-          const QueueConfig &queues, const CarbonInfoService &cis,
+          const QueueConfig &queues, const CarbonInfoSource &cis,
           const ClusterConfig &cluster, ResourceStrategy strategy)
 {
     const PolicyPtr policy = makePolicy(policy_name);

@@ -33,7 +33,7 @@ QueueConfig calibratedQueues(
  */
 SimulationResult
 runPolicy(const std::string &policy_name, const JobTrace &trace,
-          const QueueConfig &queues, const CarbonInfoService &cis,
+          const QueueConfig &queues, const CarbonInfoSource &cis,
           const ClusterConfig &cluster = {},
           ResourceStrategy strategy = ResourceStrategy::OnDemandOnly);
 

@@ -7,6 +7,8 @@
 #include "common/logging.h"
 #include "core/cis.h"
 #include "core/policy_factory.h"
+#include "fault/faulty_source.h"
+#include "fault/injector.h"
 #include "sim/simulator.h"
 #include "trace/forecast.h"
 #include "workload/resampler.h"
@@ -294,6 +296,7 @@ runScenario(const ScenarioSpec &spec, AssetCache &cache)
                  "s exceeds long limit ", spec.long_wait, "s");
     GAIA_REQUIRE(spec.cis.noise >= 0.0, "negative forecast noise ",
                  spec.cis.noise);
+    GAIA_TRY(spec.fault.validate());
 
     GAIA_TRY_ASSIGN(const std::shared_ptr<const JobTrace> trace,
                     cache.trace(spec.workload));
@@ -327,8 +330,30 @@ runScenario(const ScenarioSpec &spec, AssetCache &cache)
             ? CarbonInfoService(*carbon, *forecaster)
             : CarbonInfoService(*carbon, spec.cis.noise,
                                 spec.cis.seed);
-    return simulate(*trace, *policy, *queues, cis, spec.cluster,
-                    spec.strategy);
+
+    // Fault wiring: the injector exists whenever any fault is
+    // configured; the source decorator only when a carbon-source
+    // fault is. Both are stack-local — faults are per-cell state,
+    // never cached.
+    std::unique_ptr<FaultInjector> injector;
+    std::unique_ptr<FaultyCarbonSource> faulty;
+    if (spec.fault.enabled())
+        injector = std::make_unique<FaultInjector>(spec.fault);
+    if (injector != nullptr && injector->cisFaults())
+        faulty = std::make_unique<FaultyCarbonSource>(cis, *injector);
+
+    SimulationSetup setup;
+    setup.trace = trace.get();
+    setup.policy = policy.get();
+    setup.queues = queues.get();
+    setup.cis = faulty != nullptr
+                    ? static_cast<const CarbonInfoSource *>(
+                          faulty.get())
+                    : &cis;
+    setup.cluster = spec.cluster;
+    setup.strategy = spec.strategy;
+    setup.faults = injector.get();
+    return simulateChecked(setup);
 }
 
 } // namespace gaia

@@ -29,6 +29,7 @@
 #include "common/status.h"
 #include "common/time.h"
 #include "core/queues.h"
+#include "fault/fault_spec.h"
 #include "sim/cluster.h"
 #include "sim/results.h"
 #include "trace/carbon_trace.h"
@@ -164,6 +165,10 @@ struct ScenarioSpec
     Seconds long_wait = 24 * kSecondsPerHour;
 
     CisSpec cis;
+
+    /** Fault-injection configuration; default (all rates zero)
+     *  leaves every cell byte-identical to a fault-free build. */
+    FaultSpec fault;
 };
 
 /**

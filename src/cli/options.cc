@@ -93,6 +93,22 @@ cliUsage()
            "overhead (default 0)\n"
            "  --idle-power-fraction F   idle reserved power share "
            "(default 0)\n\n"
+           "Fault injection (off unless --fault is given):\n"
+           "  --fault SPEC          fault clauses "
+           "'kind:key=val,...' joined by ';', e.g.\n"
+           "                        "
+           "'outage:rate=0.05,hours=2;storm:rate=0.1'; kinds: "
+           "outage,\n"
+           "                        stale, spike, gap, storm, "
+           "straggler, delay; repeatable\n"
+           "  --fault-seed S        fault-decision hash seed "
+           "(default 1)\n"
+           "  --fault-retries N     carbon-source retries before "
+           "degrading (default 3)\n"
+           "  --fault-backoff-min M first retry backoff, minutes; "
+           "doubles per attempt (default 5)\n"
+           "  --fault-spot-retries N  spot re-attempts after a "
+           "storm eviction (default 3)\n\n"
            "Misc:\n"
            "  --seed S              RNG seed (default 1)\n"
            "  --threads N           worker threads for parallel "
@@ -223,6 +239,47 @@ parseCliOptions(const std::vector<std::string> &raw_args,
                             tryParseDouble(v, "--spot-max-hours"));
             GAIA_REQUIRE(options.spot_max_hours >= 0.0,
                          "--spot-max-hours must be non-negative");
+        } else if (arg == "--fault") {
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            // Repeated flags accumulate clauses; FaultSpec::merge
+            // validates the combined spec at run time.
+            if (options.fault.empty())
+                options.fault = v;
+            else
+                options.fault += ";" + v;
+        } else if (arg == "--fault-seed") {
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            GAIA_TRY_ASSIGN(const std::int64_t n,
+                            tryParseInt(v, "--fault-seed"));
+            options.fault_seed = static_cast<std::uint64_t>(n);
+        } else if (arg == "--fault-retries") {
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            GAIA_TRY_ASSIGN(const std::int64_t n,
+                            tryParseInt(v, "--fault-retries"));
+            GAIA_REQUIRE(n >= 0 && n <= 16,
+                         "--fault-retries must be in [0,16]");
+            options.fault_retries =
+                static_cast<std::uint32_t>(n);
+        } else if (arg == "--fault-backoff-min") {
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            GAIA_TRY_ASSIGN(
+                options.fault_backoff_min,
+                tryParseDouble(v, "--fault-backoff-min"));
+            GAIA_REQUIRE(options.fault_backoff_min > 0.0,
+                         "--fault-backoff-min must be positive");
+        } else if (arg == "--fault-spot-retries") {
+            GAIA_TRY_ASSIGN(const std::string v,
+                            need_value(i++, arg));
+            GAIA_TRY_ASSIGN(const std::int64_t n,
+                            tryParseInt(v, "--fault-spot-retries"));
+            GAIA_REQUIRE(n >= 0 && n <= 16,
+                         "--fault-spot-retries must be in [0,16]");
+            options.fault_spot_retries =
+                static_cast<std::uint32_t>(n);
         } else if (arg == "--seed") {
             GAIA_TRY_ASSIGN(const std::string v,
                             need_value(i++, arg));

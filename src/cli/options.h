@@ -76,6 +76,21 @@ struct CliOptions
     /** RNG seed for trace synthesis and evictions. */
     std::uint64_t seed = 1;
 
+    /**
+     * Fault-injection clauses, ';'-joined across repeated --fault
+     * flags (e.g. "outage:rate=0.05,hours=2;storm:rate=0.1"); ""
+     * disables injection (see FaultSpec::merge).
+     */
+    std::string fault;
+    /** Fault-decision hash seed (independent of --seed). */
+    std::uint64_t fault_seed = 1;
+    /** Carbon-source retry budget of the degradation ladder. */
+    std::uint32_t fault_retries = 3;
+    /** First retry backoff, minutes (doubles per attempt). */
+    double fault_backoff_min = 5.0;
+    /** Post-eviction spot re-attempts under the storm model. */
+    std::uint32_t fault_spot_retries = 3;
+
     /** Worker threads for parallel phases (0 = auto-detect). */
     unsigned threads = 0;
 

@@ -104,6 +104,16 @@ scenarioFromOptions(const CliOptions &options)
     spec.cis.noise = options.forecast_noise;
     spec.cis.seed = options.seed;
 
+    GAIA_TRY(spec.fault.merge(options.fault));
+    spec.fault.seed = options.fault_seed;
+    spec.fault.cis_max_retries =
+        static_cast<int>(options.fault_retries);
+    spec.fault.cis_retry_backoff =
+        minutes(options.fault_backoff_min);
+    spec.fault.storm_spot_retries =
+        static_cast<int>(options.fault_spot_retries);
+    GAIA_TRY(spec.fault.validate());
+
     spec.label = options.policy + "/" + options.workload;
     return spec;
 }

@@ -65,15 +65,6 @@ CsvTable::tryColumnIndex(const std::string &name) const
     return Status::notFound("CSV column '", name, "' not found");
 }
 
-std::size_t
-CsvTable::columnIndex(const std::string &name) const
-{
-    const Result<std::size_t> index = tryColumnIndex(name);
-    if (!index.isOk())
-        fatal(index.status().message());
-    return index.value();
-}
-
 const std::string &
 CsvTable::cell(std::size_t row, std::size_t col) const
 {
@@ -98,24 +89,6 @@ CsvTable::tryCellInt(std::size_t row, std::size_t col) const
     return tryParseInt(cell(row, col), ctx.str());
 }
 
-double
-CsvTable::cellDouble(std::size_t row, std::size_t col) const
-{
-    const Result<double> value = tryCellDouble(row, col);
-    if (!value.isOk())
-        fatal(value.status().message());
-    return value.value();
-}
-
-std::int64_t
-CsvTable::cellInt(std::size_t row, std::size_t col) const
-{
-    const Result<std::int64_t> value = tryCellInt(row, col);
-    if (!value.isOk())
-        fatal(value.status().message());
-    return value.value();
-}
-
 Result<std::vector<double>>
 CsvTable::tryColumnDoubles(const std::string &name) const
 {
@@ -127,15 +100,6 @@ CsvTable::tryColumnDoubles(const std::string &name) const
         out.push_back(value);
     }
     return out;
-}
-
-std::vector<double>
-CsvTable::columnDoubles(const std::string &name) const
-{
-    Result<std::vector<double>> column = tryColumnDoubles(name);
-    if (!column.isOk())
-        fatal(column.status().message());
-    return std::move(column).value();
 }
 
 Result<CsvTable>
@@ -152,24 +116,6 @@ tryReadCsvText(const std::string &text, const std::string &context)
 {
     std::istringstream in(text);
     return parseStream(in, context);
-}
-
-CsvTable
-readCsv(const std::string &path)
-{
-    Result<CsvTable> table = tryReadCsv(path);
-    if (!table.isOk())
-        fatal(table.status().message());
-    return std::move(table).value();
-}
-
-CsvTable
-readCsvText(const std::string &text, const std::string &context)
-{
-    Result<CsvTable> table = tryReadCsvText(text, context);
-    if (!table.isOk())
-        fatal(table.status().message());
-    return std::move(table).value();
 }
 
 CsvWriter::CsvWriter(const std::string &path,

@@ -34,9 +34,6 @@ class CsvTable
     /** Column index for `name`; NotFound if absent. */
     Result<std::size_t> tryColumnIndex(const std::string &name) const;
 
-    /** Column index for `name`; fatal() if absent. */
-    std::size_t columnIndex(const std::string &name) const;
-
     /** Raw cell access. */
     const std::string &cell(std::size_t row, std::size_t col) const;
 
@@ -46,16 +43,9 @@ class CsvTable
     Result<std::int64_t> tryCellInt(std::size_t row,
                                     std::size_t col) const;
 
-    /** Typed accessors with error context in fatal() messages. */
-    double cellDouble(std::size_t row, std::size_t col) const;
-    std::int64_t cellInt(std::size_t row, std::size_t col) const;
-
     /** Full column extraction as doubles; first parse error wins. */
     Result<std::vector<double>>
     tryColumnDoubles(const std::string &name) const;
-
-    /** Full column extraction as doubles. */
-    std::vector<double> columnDoubles(const std::string &name) const;
 
   private:
     std::vector<std::string> header_;
@@ -69,13 +59,6 @@ Result<CsvTable> tryReadCsv(const std::string &path);
 Result<CsvTable> tryReadCsvText(const std::string &text,
                                 const std::string &context =
                                     "<string>");
-
-/** Parse a CSV file; fatal() on missing file or ragged rows. */
-CsvTable readCsv(const std::string &path);
-
-/** Parse CSV from a string (tests, generated content). */
-CsvTable readCsvText(const std::string &text,
-                     const std::string &context = "<string>");
 
 /**
  * Streaming CSV writer. Rows must match the header width; the file

@@ -24,7 +24,82 @@
 namespace gaia {
 
 /**
- * Forecast-capable view over a carbon trace.
+ * Abstract carbon-information source.
+ *
+ * Policies and the scheduler consult this interface — never a
+ * concrete trace — for the current carbon intensity and forecasts
+ * over the scheduling window. CarbonInfoService is the ground-truth
+ * implementation; decorators (e.g. fault::FaultyCarbonSource) wrap a
+ * source to inject degraded behaviour without touching policy code.
+ *
+ * `trace()` must always return the ground-truth trace: it is the
+ * accounting input, and a decorator may only distort what the
+ * *scheduler* believes, never what the atmosphere receives.
+ */
+class CarbonInfoSource
+{
+  public:
+    virtual ~CarbonInfoSource() = default;
+
+    /** Ground-truth trace (accounting input; never distorted). */
+    virtual const CarbonTrace &trace() const = 0;
+
+    /**
+     * Whether the source can answer queries at instant `now`. A
+     * plain service is always up; a decorator may report outages,
+     * which the scheduler handles with retry/degradation (see
+     * sim/online.cc). Querying an unavailable source still returns
+     * values — availability is advisory, like a failed health
+     * check before an RPC.
+     */
+    virtual bool availableAt(Seconds now) const
+    {
+        (void)now;
+        return true;
+    }
+
+    /**
+     * True when forecasts for slots strictly after slotOf(now) do
+     * not depend on the exact query instant within `now`'s slot —
+     * the contract PlanCache memoization relies on (see
+     * core/plan_cache.h). Defaults to false: opting out of
+     * memoization is always safe.
+     */
+    virtual bool slotInvariantForecasts() const { return false; }
+
+    /** Measured intensity at instant `t`. */
+    virtual double intensityAt(Seconds t) const = 0;
+
+    /** Forecast intensity of hourly slot `slot` as seen at `now`. */
+    virtual double forecastAtSlot(Seconds now,
+                                  SlotIndex slot) const = 0;
+
+    /**
+     * Forecast of the intensity-time integral over [from, to) as
+     * seen from `now`, in (g/kWh)·seconds.
+     */
+    virtual double forecastIntegrate(Seconds now, Seconds from,
+                                     Seconds to) const = 0;
+
+    /**
+     * Forecast slot with minimum intensity within [from, to), ties
+     * broken toward the earliest slot.
+     */
+    virtual SlotIndex forecastMinSlot(Seconds now, Seconds from,
+                                      Seconds to) const = 0;
+
+    /**
+     * Forecast p-th percentile of slot intensities over [from, to)
+     * (Ecovisor's threshold input).
+     */
+    virtual double forecastPercentile(Seconds now, Seconds from,
+                                      Seconds to,
+                                      double p) const = 0;
+};
+
+/**
+ * Forecast-capable view over a carbon trace — the ground-truth
+ * CarbonInfoSource implementation.
  *
  * Forecast noise is deterministic per (slot, seed): repeated queries
  * of the same future slot return the same perturbed value, like a
@@ -32,7 +107,7 @@ namespace gaia {
  * slot containing "now" is always exact (it is a measurement, not a
  * forecast).
  */
-class CarbonInfoService
+class CarbonInfoService final : public CarbonInfoSource
 {
   public:
     /**
@@ -54,39 +129,50 @@ class CarbonInfoService
     CarbonInfoService(const CarbonTrace &trace,
                       const CarbonForecaster &forecaster);
 
-    const CarbonTrace &trace() const { return trace_; }
+    const CarbonTrace &trace() const override { return trace_; }
     double forecastNoise() const { return noise_; }
     bool usesForecastModel() const
     {
         return forecaster_ != nullptr;
     }
 
+    /**
+     * Trace truth and per-slot hashed noise are pure functions of
+     * the slot; only a forecast *model* may condition on the query
+     * instant itself.
+     */
+    bool slotInvariantForecasts() const override
+    {
+        return forecaster_ == nullptr;
+    }
+
     /** Measured intensity at instant `t` (always exact). */
-    double intensityAt(Seconds t) const;
+    double intensityAt(Seconds t) const override;
 
     /** Forecast intensity of hourly slot `slot` as seen at `now`. */
-    double forecastAtSlot(Seconds now, SlotIndex slot) const;
+    double forecastAtSlot(Seconds now,
+                          SlotIndex slot) const override;
 
     /**
      * Forecast of the intensity-time integral over [from, to) as
      * seen from `now`, in (g/kWh)·seconds.
      */
     double forecastIntegrate(Seconds now, Seconds from,
-                             Seconds to) const;
+                             Seconds to) const override;
 
     /**
      * Forecast slot with minimum intensity within [from, to), ties
      * broken toward the earliest slot.
      */
     SlotIndex forecastMinSlot(Seconds now, Seconds from,
-                              Seconds to) const;
+                              Seconds to) const override;
 
     /**
      * Forecast p-th percentile of slot intensities over [from, to)
      * (Ecovisor's threshold input).
      */
     double forecastPercentile(Seconds now, Seconds from, Seconds to,
-                              double p) const;
+                              double p) const override;
 
   private:
     /** Deterministic multiplicative error factor for `slot`. */

@@ -21,7 +21,7 @@ AdaptiveSRPolicy::plan(const Job &job, const PlanContext &ctx) const
     GAIA_ASSERT(ctx.queue != nullptr, "plan() without a queue");
     GAIA_ASSERT(ctx.now == job.submit, "plan() at the wrong time");
 
-    const CarbonInfoService &cis = *ctx.cis;
+    const CarbonInfoSource &cis = *ctx.cis;
     const Seconds now = ctx.now;
     const Seconds budget = ctx.queue->max_wait;
 

@@ -23,16 +23,16 @@ checkContext(const Job &job, const PlanContext &ctx)
 
 /**
  * Whether boundary-candidate results may be replayed across jobs:
- * needs a cache, hourly-only candidates, and CIS answers that do not
- * depend on the exact query instant within the arrival slot (oracle
- * truth or per-slot hashed noise; a forecast *model* may condition
- * on `now` itself, so it opts out).
+ * needs a cache, hourly-only candidates, and source answers that do
+ * not depend on the exact query instant within the arrival slot
+ * (oracle truth or per-slot hashed noise qualify; forecast models
+ * and fault decorators opt out via slotInvariantForecasts()).
  */
 bool
 memoizable(const PlanContext &ctx, Seconds granularity)
 {
     return ctx.cache != nullptr && granularity == 0 &&
-           !ctx.cis->usesForecastModel();
+           ctx.cis->slotInvariantForecasts();
 }
 
 /**
@@ -75,7 +75,7 @@ SchedulePlan
 WaitAwhilePolicy::plan(const Job &job, const PlanContext &ctx) const
 {
     checkContext(job, ctx);
-    const CarbonInfoService &cis = *ctx.cis;
+    const CarbonInfoSource &cis = *ctx.cis;
     const Seconds now = ctx.now;
     const Seconds deadline = now + job.length + ctx.queue->max_wait;
 
@@ -137,7 +137,7 @@ SchedulePlan
 EcovisorPolicy::plan(const Job &job, const PlanContext &ctx) const
 {
     checkContext(job, ctx);
-    const CarbonInfoService &cis = *ctx.cis;
+    const CarbonInfoSource &cis = *ctx.cis;
     const Seconds now = ctx.now;
 
     const double threshold = cis.forecastPercentile(
@@ -205,7 +205,7 @@ SchedulePlan
 LowestWindowPolicy::plan(const Job &job, const PlanContext &ctx) const
 {
     checkContext(job, ctx);
-    const CarbonInfoService &cis = *ctx.cis;
+    const CarbonInfoSource &cis = *ctx.cis;
     const Seconds now = ctx.now;
     const Seconds j_avg = use_exact_length_
                               ? job.length
@@ -260,7 +260,7 @@ SchedulePlan
 CarbonTimePolicy::plan(const Job &job, const PlanContext &ctx) const
 {
     checkContext(job, ctx);
-    const CarbonInfoService &cis = *ctx.cis;
+    const CarbonInfoSource &cis = *ctx.cis;
     const Seconds now = ctx.now;
     const Seconds j_avg = ctx.queue->effectiveAvgLength();
 

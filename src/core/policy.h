@@ -37,8 +37,8 @@ struct PlanContext
 {
     /** Decision instant; equals the job's submit time. */
     Seconds now = 0;
-    /** Carbon information service (forecasts). */
-    const CarbonInfoService *cis = nullptr;
+    /** Carbon information source (forecasts). */
+    const CarbonInfoSource *cis = nullptr;
     /** The job's queue (provides W, J^max, J_avg). */
     const QueueSpec *queue = nullptr;
     /**

@@ -7,13 +7,13 @@
 namespace gaia {
 
 SpatialPlanner::SpatialPlanner(
-    std::vector<const CarbonInfoService *> regions,
+    std::vector<const CarbonInfoSource *> regions,
     const SchedulingPolicy &policy, const QueueConfig &queues)
     : regions_(std::move(regions)), policy_(policy), queues_(queues)
 {
     if (regions_.empty())
         fatal("spatial planner needs at least one region");
-    for (const CarbonInfoService *cis : regions_)
+    for (const CarbonInfoSource *cis : regions_)
         GAIA_ASSERT(cis != nullptr, "null region CIS");
 }
 

@@ -69,7 +69,7 @@ class SpatialPlanner
      * @param policy  temporal policy applied within each region
      * @param queues  queue configuration shared across regions
      */
-    SpatialPlanner(std::vector<const CarbonInfoService *> regions,
+    SpatialPlanner(std::vector<const CarbonInfoSource *> regions,
                    const SchedulingPolicy &policy,
                    const QueueConfig &queues);
 
@@ -82,7 +82,7 @@ class SpatialPlanner
     SpatialPartition partition(const JobTrace &trace) const;
 
   private:
-    std::vector<const CarbonInfoService *> regions_;
+    std::vector<const CarbonInfoSource *> regions_;
     const SchedulingPolicy &policy_;
     const QueueConfig &queues_;
 };

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/obs.h"
+#include "fault/injector.h"
 
 namespace gaia {
 
@@ -16,21 +17,26 @@ obs::Counter &c_events = obs::counter("sim.events_dispatched");
 obs::Counter &c_jobs_completed = obs::counter("sim.jobs_completed");
 obs::Counter &c_jobs_evicted = obs::counter("sim.jobs_evicted");
 obs::Counter &c_evictions = obs::counter("sim.evictions");
+obs::Counter &c_faults_injected = obs::counter("fault.injected");
+obs::Counter &c_cis_retries = obs::counter("cis.retries");
+obs::Counter &c_degraded = obs::counter("policy.degraded_slots");
 
 } // namespace
 
 OnlineScheduler::OnlineScheduler(const SchedulingPolicy &policy,
                                  const QueueConfig &queues,
-                                 const CarbonInfoService &cis,
+                                 const CarbonInfoSource &cis,
                                  const ClusterConfig &cluster,
                                  ResourceStrategy strategy,
-                                 std::string workload)
+                                 std::string workload,
+                                 const FaultInjector *faults)
     : policy_(policy),
       queues_(queues),
       cis_(cis),
       cluster_(cluster),
       strategy_(strategy),
       workload_(std::move(workload)),
+      faults_(faults),
       pool_(cluster.reserved_cores),
       eviction_(cluster.spot_eviction_rate),
       rng_(cluster.seed)
@@ -47,14 +53,17 @@ OnlineScheduler::OnlineScheduler(const SchedulingPolicy &policy,
 Result<OnlineScheduler>
 OnlineScheduler::create(const SchedulingPolicy &policy,
                         const QueueConfig &queues,
-                        const CarbonInfoService &cis,
+                        const CarbonInfoSource &cis,
                         const ClusterConfig &cluster,
                         ResourceStrategy strategy,
-                        std::string workload)
+                        std::string workload,
+                        const FaultInjector *faults)
 {
     GAIA_TRY(validateClusterSetup(cluster, strategy));
+    if (faults != nullptr)
+        GAIA_TRY(faults->spec().validate());
     return OnlineScheduler(policy, queues, cis, cluster, strategy,
-                           std::move(workload));
+                           std::move(workload), faults);
 }
 
 void
@@ -118,21 +127,38 @@ OnlineScheduler::submit(const Job &job)
     GAIA_REQUIRE(job.submit >= events_.now(), "job ", job.id,
                  " submitted at ", job.submit,
                  " but simulation time is already ", events_.now());
+    Job admitted = job;
+    if (faults_ != nullptr) {
+        if (faults_->straggler(job.id)) {
+            // Straggler slowdown: the job really takes longer; the
+            // books account the stretched length as useful work.
+            admitted.length = faults_->stretched(admitted.length);
+            ++faults_injected_;
+        }
+        if (faults_->delayedStart(job.id)) {
+            // Delayed start: the scheduler sees the job late, but
+            // the user submitted at the original instant, so the
+            // delay counts as waiting time in the outcome.
+            admitted.submit += faults_->startDelay();
+            ++faults_injected_;
+        }
+    }
     const std::size_t idx = states_.size();
     GAIA_ASSERT(idx <= 0xffffffffu, "job index overflows the event "
                 "payload");
     states_.emplace_back();
-    states_[idx].job = job;
+    states_[idx].job = admitted;
     states_[idx].outcome.id = job.id;
     states_[idx].outcome.submit = job.submit;
-    states_[idx].outcome.length = job.length;
+    states_[idx].outcome.length = admitted.length;
     states_[idx].outcome.cpus = job.cpus;
     // Priority 0: arrivals at a timestamp run before same-instant
     // releases/starts, so batch and incremental feeding agree. The
     // sequential lane keeps a batch-fed trace's arrivals (sorted by
-    // submit time) out of the heap.
+    // submit time) out of the heap; a fault-delayed arrival that
+    // lands out of order falls back to the heap transparently.
     events_.scheduleSequential(
-        job.submit, /*priority=*/0,
+        admitted.submit, /*priority=*/0,
         SimEvent{EvArrival, static_cast<std::uint32_t>(idx), 0});
     return Status::ok();
 }
@@ -157,28 +183,39 @@ OnlineScheduler::onArrival(std::size_t idx)
     JobState &state = states_[idx];
     const Job &job = state.job;
 
-    const QueueSpec &queue = queues_.queueForJob(job);
-    PlanContext ctx;
-    ctx.now = job.submit;
-    ctx.cis = &cis_;
-    ctx.queue = &queue;
-    ctx.cache =
-        planMemoizationEnabled() ? plan_cache_.get() : nullptr;
-    {
-        const obs::Span span("policy.plan");
-        state.plan = policy_.plan(job, ctx);
-    }
+    if (!cis_.availableAt(events_.now())) {
+        if (retryArrivalLater(idx))
+            return;
+        // Retry budget exhausted: degrade to the carbon-oblivious
+        // NoWait plan rather than blocking the queue. Recovery is
+        // automatic — the next arrival (or retry probe) that finds
+        // the source available plans normally again.
+        ++degraded_plans_;
+        state.plan = SchedulePlan(job.submit, job.length);
+    } else {
+        const QueueSpec &queue = queues_.queueForJob(job);
+        PlanContext ctx;
+        ctx.now = job.submit;
+        ctx.cis = &cis_;
+        ctx.queue = &queue;
+        ctx.cache =
+            planMemoizationEnabled() ? plan_cache_.get() : nullptr;
+        {
+            const obs::Span span("policy.plan");
+            state.plan = policy_.plan(job, ctx);
+        }
 
-    // Plan contract checks (see SchedulingPolicy::plan).
-    GAIA_ASSERT(state.plan.totalRunTime() == job.length,
-                "policy '", policy_.name(), "' planned ",
-                state.plan.totalRunTime(), "s for a ", job.length,
-                "s job");
-    GAIA_ASSERT(state.plan.plannedStart() >= job.submit,
-                "plan starts before submission");
-    GAIA_ASSERT(state.plan.plannedStart() <=
-                    job.submit + queue.max_wait,
-                "plan start violates the waiting bound W");
+        // Plan contract checks (see SchedulingPolicy::plan).
+        GAIA_ASSERT(state.plan.totalRunTime() == job.length,
+                    "policy '", policy_.name(), "' planned ",
+                    state.plan.totalRunTime(), "s for a ",
+                    job.length, "s job");
+        GAIA_ASSERT(state.plan.plannedStart() >= job.submit,
+                    "plan starts before submission");
+        GAIA_ASSERT(state.plan.plannedStart() <=
+                        job.submit + queue.max_wait,
+                    "plan start violates the waiting bound W");
+    }
 
     state.outcome.carbon_nowait_g = cis_.trace().gramsFor(
         job.submit, job.submit + job.length,
@@ -188,6 +225,36 @@ OnlineScheduler::onArrival(std::size_t idx)
         spotEnabled() && job.length <= cluster_.spot_max_length;
 
     dispatch(idx);
+}
+
+bool
+OnlineScheduler::retryArrivalLater(std::size_t idx)
+{
+    JobState &state = states_[idx];
+    // Knob defaults apply when a faulty source is wired up without
+    // a cluster-side injector.
+    const FaultSpec defaults;
+    const FaultSpec &spec =
+        faults_ != nullptr ? faults_->spec() : defaults;
+    if (state.cis_attempts == 0)
+        ++faults_injected_; // the outage counts once per job
+    if (static_cast<int>(state.cis_attempts) >=
+        spec.cis_max_retries)
+        return false;
+    // Bounded retry with exponential backoff: base, 2x, 4x, ...
+    const Seconds backoff =
+        spec.cis_retry_backoff << state.cis_attempts;
+    ++state.cis_attempts;
+    ++cis_retries_;
+    // The job effectively re-arrives at the probe instant; mutating
+    // its submit keeps the planning contract (ctx.now == submit)
+    // intact, while the outcome keeps the user-visible submit time
+    // so the stall counts as waiting.
+    state.job.submit = events_.now() + backoff;
+    events_.schedule(
+        state.job.submit, /*priority=*/0,
+        SimEvent{EvArrival, static_cast<std::uint32_t>(idx), 0});
+    return true;
 }
 
 void
@@ -302,20 +369,44 @@ OnlineScheduler::placeSpotSegment(std::size_t idx,
         return;
     const RunSegment &seg = state.plan.segment(seg_idx);
     state.started = true;
+    runSpotSlice(idx, seg.start, seg.end);
+}
 
+void
+OnlineScheduler::runSpotSlice(std::size_t idx, Seconds from,
+                              Seconds to)
+{
+    JobState &state = states_[idx];
+
+    // The independent per-slice eviction draw is sampled before the
+    // storm check so the RNG stream — and with it every faults-off
+    // simulation — is bit-identical whether or not an injector is
+    // wired up.
     const Seconds offset =
-        eviction_.sampleEvictionOffset(rng_, seg.duration());
-    if (offset < 0) {
-        recordSegment(idx, seg.start, seg.end, PurchaseOption::Spot,
+        eviction_.sampleEvictionOffset(rng_, to - from);
+    Seconds evict_at = offset < 0 ? -1 : from + offset;
+    bool storm = false;
+    if (faults_ != nullptr && faults_->storms()) {
+        const Seconds strike = faults_->firstStormIn(from, to);
+        if (strike >= 0 && (evict_at < 0 || strike < evict_at)) {
+            // Correlated mass revocation: every spot slice crossing
+            // the strike instant is evicted together.
+            evict_at = strike;
+            storm = true;
+        }
+    }
+    if (evict_at < 0) {
+        recordSegment(idx, from, to, PurchaseOption::Spot,
                       /*lost=*/false);
         return;
     }
 
     // Evicted: this slice (and any previously completed slices) is
     // wasted; the paper assumes all progress is lost.
-    const Seconds evict_at = seg.start + offset;
-    if (offset > 0) {
-        recordSegment(idx, seg.start, evict_at, PurchaseOption::Spot,
+    if (storm)
+        ++faults_injected_;
+    if (evict_at > from) {
+        recordSegment(idx, from, evict_at, PurchaseOption::Spot,
                       /*lost=*/true);
     }
     for (PlacedSegment &done : state.outcome.segments)
@@ -332,6 +423,19 @@ OnlineScheduler::restartAfterEviction(std::size_t idx, Seconds at)
 {
     JobState &state = states_[idx];
     const Job &job = state.job;
+    // Under the storm model a bounded number of restarts re-attempt
+    // spot first — that is what makes back-to-back revocations of
+    // the same job possible — before falling through to the
+    // baseline ladder below. Gated on storms() so the faults-off
+    // path is untouched.
+    if (faults_ != nullptr && faults_->storms() &&
+        state.spot_eligible && spotEnabled() &&
+        static_cast<int>(state.spot_retries) <
+            faults_->spec().storm_spot_retries) {
+        ++state.spot_retries;
+        runSpotSlice(idx, at, at + job.length);
+        return;
+    }
     // Restart the full job; prefer a free reserved core, matching
     // the paper ("on either on-demand or reserved instances based
     // on availability"). The restart never returns to spot.
@@ -645,6 +749,12 @@ OnlineScheduler::finalize()
     c_events.add(events_dispatched_);
     c_jobs_completed.add(result.outcomes.size());
     c_evictions.add(result.eviction_count);
+    if (faults_injected_ > 0)
+        c_faults_injected.add(faults_injected_);
+    if (cis_retries_ > 0)
+        c_cis_retries.add(cis_retries_);
+    if (degraded_plans_ > 0)
+        c_degraded.add(degraded_plans_);
     std::uint64_t evicted_jobs = 0;
     for (const JobOutcome &o : result.outcomes)
         if (o.evictions > 0)

@@ -53,6 +53,8 @@
 
 namespace gaia {
 
+class FaultInjector;
+
 /**
  * Incremental cluster scheduler/simulator. Single-threaded; all
  * referenced collaborators must outlive the scheduler.
@@ -68,17 +70,22 @@ class OnlineScheduler : private EventQueue::Sink
      *
      * @param policy    temporal scheduling policy
      * @param queues    queue configuration (calibrated J_avg)
-     * @param cis       carbon information service
+     * @param cis       carbon information source (plain service or
+     *                  a fault-injecting decorator)
      * @param cluster   cluster configuration; a zero
      *                  reservation_horizon is derived from the
      *                  observed schedule at finalize()
      * @param strategy  resource placement strategy
      * @param workload  label recorded in the result
+     * @param faults    optional cluster-side fault injector (storms,
+     *                  stragglers, delayed starts) and source of the
+     *                  degradation-ladder knobs; nullptr = no faults
      */
     static Result<OnlineScheduler>
     create(const SchedulingPolicy &policy, const QueueConfig &queues,
-           const CarbonInfoService &cis, const ClusterConfig &cluster,
-           ResourceStrategy strategy, std::string workload = "online");
+           const CarbonInfoSource &cis, const ClusterConfig &cluster,
+           ResourceStrategy strategy, std::string workload = "online",
+           const FaultInjector *faults = nullptr);
 
     /**
      * Direct construction for pre-validated configuration; asserts
@@ -86,10 +93,11 @@ class OnlineScheduler : private EventQueue::Sink
      */
     OnlineScheduler(const SchedulingPolicy &policy,
                     const QueueConfig &queues,
-                    const CarbonInfoService &cis,
+                    const CarbonInfoSource &cis,
                     const ClusterConfig &cluster,
                     ResourceStrategy strategy,
-                    std::string workload = "online");
+                    std::string workload = "online",
+                    const FaultInjector *faults = nullptr);
 
     OnlineScheduler(OnlineScheduler &&) = default;
 
@@ -139,6 +147,10 @@ class OnlineScheduler : private EventQueue::Sink
         bool pending = false;
         bool started = false;
         bool aborted = false;
+        /** Carbon-source probes spent in the degradation ladder. */
+        std::uint32_t cis_attempts = 0;
+        /** Post-eviction spot re-attempts under the storm model. */
+        std::uint32_t spot_retries = 0;
         JobOutcome outcome;
     };
 
@@ -165,10 +177,17 @@ class OnlineScheduler : private EventQueue::Sink
     bool spotEnabled() const;
 
     void onArrival(std::size_t idx);
+    /** Degradation ladder on source outage: true = arrival handled
+     *  (a backoff retry was scheduled); false = plan carbon-
+     *  obliviously now. */
+    bool retryArrivalLater(std::size_t idx);
     void dispatch(std::size_t idx);
     void followPlan(std::size_t idx, bool on_spot);
     void placeSegment(std::size_t idx, std::size_t seg_idx);
     void placeSpotSegment(std::size_t idx, std::size_t seg_idx);
+    /** Run [from, to) of job `idx` on spot; evict at the earlier of
+     *  the independent sampled eviction and the first storm. */
+    void runSpotSlice(std::size_t idx, Seconds from, Seconds to);
     void startOnReserved(std::size_t idx, Seconds at);
     void recordSegment(std::size_t idx, Seconds from, Seconds to,
                        PurchaseOption option, bool lost);
@@ -179,10 +198,12 @@ class OnlineScheduler : private EventQueue::Sink
 
     const SchedulingPolicy &policy_;
     const QueueConfig &queues_;
-    const CarbonInfoService &cis_;
+    const CarbonInfoSource &cis_;
     ClusterConfig cluster_;
     ResourceStrategy strategy_;
     std::string workload_;
+    /** Cluster-side fault oracle; nullptr = faults disabled. */
+    const FaultInjector *faults_ = nullptr;
 
     EventQueue events_;
     /** Behind a pointer so the scheduler stays movable (the cache
@@ -204,6 +225,10 @@ class OnlineScheduler : private EventQueue::Sink
      *  dispatch loop is single-threaded) flushed to the process-wide
      *  sim.events_dispatched counter once at finalize(). */
     std::uint64_t events_dispatched_ = 0;
+    /** Fault bookkeeping, flushed like events_dispatched_. */
+    std::uint64_t faults_injected_ = 0;
+    std::uint64_t cis_retries_ = 0;
+    std::uint64_t degraded_plans_ = 0;
 };
 
 } // namespace gaia

@@ -1,19 +1,37 @@
 #include "sim/simulator.h"
 
+#include <utility>
+
 #include "common/logging.h"
+#include "fault/injector.h"
 #include "sim/online.h"
 
 namespace gaia {
 
-SimulationResult
-simulate(const SimulationSetup &setup)
+Result<SimulationResult>
+simulateChecked(const SimulationSetup &setup)
 {
-    GAIA_ASSERT(setup.trace != nullptr, "simulate() without a trace");
-    GAIA_ASSERT(setup.policy != nullptr,
-                "simulate() without a policy");
-    GAIA_ASSERT(setup.queues != nullptr,
-                "simulate() without queue configuration");
-    GAIA_ASSERT(setup.cis != nullptr, "simulate() without a CIS");
+    GAIA_REQUIRE(setup.trace != nullptr,
+                 "simulation setup has no job trace");
+    GAIA_REQUIRE(setup.policy != nullptr,
+                 "simulation setup has no policy");
+    GAIA_REQUIRE(setup.queues != nullptr,
+                 "simulation setup has no queue configuration");
+    GAIA_REQUIRE(setup.cis != nullptr,
+                 "simulation setup has no carbon source");
+    if (setup.trace->jobCount() > 0) {
+        // The carbon trace clamps out-of-range queries, so a
+        // schedule running past its end would silently account the
+        // last slot's intensity — reject horizons that cannot even
+        // cover the arrivals.
+        GAIA_REQUIRE(
+            setup.cis->trace().duration() >
+                setup.trace->lastArrival(),
+            "carbon trace ends at ", setup.cis->trace().duration(),
+            "s but the last job arrives at ",
+            setup.trace->lastArrival(),
+            "s; the job and carbon horizons do not match");
+    }
 
     // Batch mode: resolve the reservation horizon up front (it only
     // depends on the trace and queue limits, so every policy
@@ -26,24 +44,28 @@ simulate(const SimulationSetup &setup)
             defaultReservationHorizon(*setup.trace, *setup.queues);
     }
 
-    OnlineScheduler scheduler(*setup.policy, *setup.queues,
-                              *setup.cis, cluster, setup.strategy,
-                              setup.trace->name());
+    GAIA_TRY_ASSIGN(
+        OnlineScheduler scheduler,
+        OnlineScheduler::create(*setup.policy, *setup.queues,
+                                *setup.cis, cluster, setup.strategy,
+                                setup.trace->name(), setup.faults));
     scheduler.reserveJobs(setup.trace->jobCount());
     for (const Job &job : setup.trace->jobs()) {
         // A JobTrace is sorted by submit time, so feeding it in
         // order can never submit into the past.
-        const Status submitted = scheduler.submit(job);
-        GAIA_ASSERT(submitted.isOk(), submitted.message());
+        GAIA_TRY(scheduler.submit(job));
     }
     scheduler.drain();
     SimulationResult result = scheduler.finalize();
 
-    if (derived) {
+    if (derived && setup.faults == nullptr) {
         // The derived horizon is a guarantee, not a user choice;
         // finishing past it would be an engine bug, which the
         // OnlineScheduler already treats as soft for explicit
-        // horizons — re-assert strictly here.
+        // horizons — re-assert strictly here. Faulted runs are
+        // exempt: stretched, delayed, and storm-restarted jobs can
+        // legitimately overrun a horizon derived from the nominal
+        // trace.
         for (const JobOutcome &o : result.outcomes) {
             GAIA_ASSERT(o.finish <= result.horizon, "job ", o.id,
                         " finished past the derived horizon");
@@ -53,8 +75,19 @@ simulate(const SimulationSetup &setup)
 }
 
 SimulationResult
+simulate(const SimulationSetup &setup)
+{
+    Result<SimulationResult> result = simulateChecked(setup);
+    GAIA_ASSERT(result.isOk(),
+                "simulate() on an invalid setup (use "
+                "simulateChecked for untrusted input): ",
+                result.status().message());
+    return std::move(result).value();
+}
+
+SimulationResult
 simulate(const JobTrace &trace, const SchedulingPolicy &policy,
-         const QueueConfig &queues, const CarbonInfoService &cis,
+         const QueueConfig &queues, const CarbonInfoSource &cis,
          const ClusterConfig &cluster, ResourceStrategy strategy)
 {
     SimulationSetup setup;

@@ -8,6 +8,14 @@
  * paper's GAIA-Simulator: identical interfaces and accounting to the
  * AWS ParallelCluster deployment, minus instance spin-up/teardown
  * overheads (which the paper's normalized metrics neglect too).
+ *
+ * Two entry points share one implementation: simulateChecked()
+ * validates the setup and returns a Status for inconsistent input
+ * (missing collaborators, a carbon trace that ends before the last
+ * job arrives, an invalid cluster/strategy combination), which is
+ * what CLI/scenario code wants; simulate() is the thin trusted-input
+ * wrapper that asserts instead, for callers that construct setups
+ * programmatically.
  */
 
 #ifndef GAIA_SIM_SIMULATOR_H
@@ -22,24 +30,36 @@
 
 namespace gaia {
 
+class FaultInjector;
+
 /** All inputs of one simulation run. */
 struct SimulationSetup
 {
     const JobTrace *trace = nullptr;
     const SchedulingPolicy *policy = nullptr;
     const QueueConfig *queues = nullptr;
-    const CarbonInfoService *cis = nullptr;
+    const CarbonInfoSource *cis = nullptr;
     ClusterConfig cluster;
     ResourceStrategy strategy = ResourceStrategy::OnDemandOnly;
+    /** Optional cluster-side fault injector; nullptr = no faults. */
+    const FaultInjector *faults = nullptr;
 };
 
-/** Run one simulation; fatal() on inconsistent setups. */
+/**
+ * Run one simulation; returns a Status (instead of dying) on an
+ * inconsistent setup. Untrusted configuration comes through here.
+ */
+Result<SimulationResult>
+simulateChecked(const SimulationSetup &setup);
+
+/** Trusted-input wrapper; asserts on setups simulateChecked()
+ *  would reject. */
 SimulationResult simulate(const SimulationSetup &setup);
 
 /** Convenience overload assembling the setup from parts. */
 SimulationResult
 simulate(const JobTrace &trace, const SchedulingPolicy &policy,
-         const QueueConfig &queues, const CarbonInfoService &cis,
+         const QueueConfig &queues, const CarbonInfoSource &cis,
          const ClusterConfig &cluster = {},
          ResourceStrategy strategy = ResourceStrategy::OnDemandOnly);
 

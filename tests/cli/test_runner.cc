@@ -4,7 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
 
 #include "common/csv.h"
 #include "common/strings.h"
@@ -47,18 +52,25 @@ TEST(CliRunner, ProducesAllThreeArtifacts)
         EXPECT_TRUE(std::filesystem::exists(path)) << path;
     }
 
-    const CsvTable aggregate = readCsv(artifacts.aggregate_csv);
+    const CsvTable aggregate =
+        tryReadCsv(artifacts.aggregate_csv).value();
     ASSERT_EQ(aggregate.rowCount(), 1u);
-    EXPECT_EQ(aggregate.cell(0, aggregate.columnIndex("policy")),
+    EXPECT_EQ(aggregate.cell(
+                  0, aggregate.tryColumnIndex("policy").value()),
               "Carbon-Time");
-    EXPECT_NEAR(aggregate.cellDouble(
-                    0, aggregate.columnIndex("carbon_kg")),
-                result.carbon_kg, 1e-4);
+    EXPECT_NEAR(
+        aggregate
+            .tryCellDouble(
+                0, aggregate.tryColumnIndex("carbon_kg").value())
+            .value(),
+        result.carbon_kg, 1e-4);
 
-    const CsvTable details = readCsv(artifacts.details_csv);
+    const CsvTable details =
+        tryReadCsv(artifacts.details_csv).value();
     EXPECT_EQ(details.rowCount(), result.outcomes.size());
 
-    const CsvTable allocation = readCsv(artifacts.allocation_csv);
+    const CsvTable allocation =
+        tryReadCsv(artifacts.allocation_csv).value();
     EXPECT_GT(allocation.rowCount(), 24u);
     std::filesystem::remove_all(options.output_dir);
 }
@@ -70,8 +82,10 @@ TEST(CliRunner, DetailsSumToAggregate)
     RunArtifacts artifacts;
     const SimulationResult result = runOk(options, &artifacts);
 
-    const CsvTable details = readCsv(artifacts.details_csv);
-    const auto carbon = details.columnDoubles("carbon_g");
+    const CsvTable details =
+        tryReadCsv(artifacts.details_csv).value();
+    const auto carbon =
+        details.tryColumnDoubles("carbon_g").value();
     double total_g = 0.0;
     for (double g : carbon)
         total_g += g;
@@ -238,6 +252,102 @@ TEST(CliRunner, ResampleAppliesThePaperPipeline)
         last = std::max(last, o.submit);
     EXPECT_GT(last, days(15));
     std::filesystem::remove_all(dir);
+}
+
+/** Workload whose last arrival outruns a two-slot carbon trace. */
+std::filesystem::path
+writeMismatchedInputs(const std::string &subdir)
+{
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / subdir;
+    std::filesystem::create_directories(dir);
+    {
+        CsvWriter jobs((dir / "jobs.csv").string(),
+                       {"id", "submit", "length", "cpus"});
+        jobs.writeRow({"1", "0", "3600", "1"});
+        jobs.writeRow(
+            {"2", std::to_string(hours(100)), "3600", "1"});
+    }
+    {
+        CsvWriter carbon((dir / "carbon.csv").string(),
+                         {"carbon_intensity"});
+        carbon.writeRow({"100"});
+        carbon.writeRow({"120"});
+    }
+    return dir;
+}
+
+TEST(CliRunner, MismatchedHorizonsIsAStatusNotAPanic)
+{
+    const std::filesystem::path dir =
+        writeMismatchedInputs("gaia_cli_mismatch");
+    CliOptions options;
+    options.workload_csv = (dir / "jobs.csv").string();
+    options.carbon_csv = (dir / "carbon.csv").string();
+    options.policy = "NoWait";
+    options.output_dir = (dir / "out").string();
+    const Result<SimulationResult> run =
+        runFromOptions(options, nullptr);
+    ASSERT_FALSE(run.isOk());
+    EXPECT_NE(run.status().message().find("horizons do not match"),
+              std::string::npos)
+        << run.status().message();
+    std::filesystem::remove_all(dir);
+}
+
+#ifdef GAIA_RUN_BIN
+TEST(CliRunner, GaiaRunExitsTwoOnMismatchedHorizons)
+{
+    const std::filesystem::path dir =
+        writeMismatchedInputs("gaia_cli_mismatch_bin");
+    const std::string command =
+        std::string(GAIA_RUN_BIN) + " --workload-csv " +
+        (dir / "jobs.csv").string() + " --carbon-csv " +
+        (dir / "carbon.csv").string() + " --policy NoWait" +
+        " --output-dir " + (dir / "out").string() +
+        " >/dev/null 2>&1";
+    const int status = std::system(command.c_str());
+    ASSERT_NE(status, -1);
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 2);
+    std::filesystem::remove_all(dir);
+}
+#endif
+
+TEST(CliRunner, FaultFlagsFlowIntoTheScenario)
+{
+    CliOptions options;
+    const Result<CliAction> action = parseCliOptions(
+        {"--fault", "outage:rate=0.2,hours=3", "--fault",
+         "storm:rate=0.1", "--fault-seed", "7", "--fault-retries",
+         "4", "--fault-backoff-min", "10", "--fault-spot-retries",
+         "1"},
+        options);
+    ASSERT_TRUE(action.isOk()) << action.status().toString();
+    const Result<ScenarioSpec> spec = scenarioFromOptions(options);
+    ASSERT_TRUE(spec.isOk()) << spec.status().toString();
+    const FaultSpec &fault = spec.value().fault;
+    EXPECT_DOUBLE_EQ(fault.outage_rate, 0.2);
+    EXPECT_EQ(fault.outage_duration, hours(3));
+    EXPECT_DOUBLE_EQ(fault.storm_rate, 0.1);
+    EXPECT_EQ(fault.seed, 7u);
+    EXPECT_EQ(fault.cis_max_retries, 4);
+    EXPECT_EQ(fault.cis_retry_backoff, minutes(10));
+    EXPECT_EQ(fault.storm_spot_retries, 1);
+    EXPECT_TRUE(fault.enabled());
+}
+
+TEST(CliRunner, BadFaultSpecIsRejected)
+{
+    CliOptions options;
+    const Result<CliAction> action = parseCliOptions(
+        {"--fault", "outage:rate=2"}, options);
+    ASSERT_TRUE(action.isOk());
+    const Result<ScenarioSpec> spec = scenarioFromOptions(options);
+    ASSERT_FALSE(spec.isOk());
+    EXPECT_NE(spec.status().message().find("rate must be in"),
+              std::string::npos)
+        << spec.status().message();
 }
 
 TEST(CliRunner, ResampleWithoutCsvRejected)

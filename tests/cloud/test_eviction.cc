@@ -42,6 +42,30 @@ TEST(Eviction, ZeroDurationSurvives)
     EXPECT_EQ(m.sampleEvictionOffset(rng, 0), -1);
 }
 
+TEST(Eviction, ExactHourDurationsAreHalfOpen)
+{
+    // A slice ending exactly on an hour boundary is never evicted
+    // *at* the boundary — offsets land strictly inside [0, d).
+    const EvictionModel m(1.0);
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        const Seconds off =
+            m.sampleEvictionOffset(rng, kSecondsPerHour);
+        ASSERT_GE(off, 0);
+        ASSERT_LT(off, kSecondsPerHour);
+    }
+    // A finished run cannot be revoked retroactively: sampling for
+    // the elapsed duration either evicts strictly inside it or
+    // reports survival, never an offset at/after the end.
+    const EvictionModel partial(0.5);
+    Rng rng2(8);
+    const Seconds d = 3 * kSecondsPerHour;
+    for (int i = 0; i < 5000; ++i) {
+        const Seconds off = partial.sampleEvictionOffset(rng2, d);
+        ASSERT_TRUE(off == -1 || (off >= 0 && off < d));
+    }
+}
+
 TEST(Eviction, OffsetsAlwaysWithinDuration)
 {
     const EvictionModel m(0.3);

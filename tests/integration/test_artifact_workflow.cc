@@ -98,22 +98,26 @@ TEST(ArtifactWorkflow, OutputFilesAreWellFormed)
     const SimulationResult r = runFromOptions(options, &artifacts).value();
 
     // details.csv rows reconcile with the aggregate.
-    const CsvTable details = readCsv(artifacts.details_csv);
+    const CsvTable details =
+        tryReadCsv(artifacts.details_csv).value();
     ASSERT_EQ(details.rowCount(), r.outcomes.size());
     double wait_sum = 0.0;
-    const std::size_t wait_col = details.columnIndex("wait_s");
+    const std::size_t wait_col =
+        details.tryColumnIndex("wait_s").value();
     for (std::size_t i = 0; i < details.rowCount(); ++i)
-        wait_sum += details.cellDouble(i, wait_col);
+        wait_sum += details.tryCellDouble(i, wait_col).value();
     EXPECT_NEAR(wait_sum / 3600.0 /
                     static_cast<double>(details.rowCount()),
                 r.meanWaitingHours(), 1e-6);
 
     // allocation.csv columns reconcile with the usage split.
-    const CsvTable allocation = readCsv(artifacts.allocation_csv);
+    const CsvTable allocation =
+        tryReadCsv(artifacts.allocation_csv).value();
     double od_core_hours = 0.0;
-    const std::size_t od_col = allocation.columnIndex("on_demand");
+    const std::size_t od_col =
+        allocation.tryColumnIndex("on_demand").value();
     for (std::size_t i = 0; i < allocation.rowCount(); ++i)
-        od_core_hours += allocation.cellDouble(i, od_col);
+        od_core_hours += allocation.tryCellDouble(i, od_col).value();
     EXPECT_NEAR(od_core_hours * 3600.0,
                 r.on_demand_core_seconds,
                 r.on_demand_core_seconds * 0.01 + 10.0);

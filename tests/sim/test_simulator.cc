@@ -336,7 +336,96 @@ TEST(SimulatorDeath, OnDemandOnlyWithReservedCoresIsFatal)
 TEST(SimulatorDeath, MissingInputsArePanics)
 {
     SimulationSetup setup;
-    EXPECT_DEATH(simulate(setup), "without a trace");
+    EXPECT_DEATH(simulate(setup), "has no job trace");
+}
+
+TEST(SimulatorChecked, RejectsEachMissingInput)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(1));
+    const JobTrace trace("t", {{1, 0, 100, 1}});
+    const PolicyPtr policy = makePolicy("NoWait");
+
+    SimulationSetup complete;
+    complete.trace = &trace;
+    complete.policy = policy.get();
+    complete.queues = &queues;
+    complete.cis = &cis;
+    ASSERT_TRUE(simulateChecked(complete).isOk());
+
+    const auto expectRejected = [&](SimulationSetup setup,
+                                    const std::string &needle) {
+        const Result<SimulationResult> result =
+            simulateChecked(setup);
+        ASSERT_FALSE(result.isOk());
+        EXPECT_EQ(result.status().code(),
+                  ErrorCode::InvalidArgument);
+        EXPECT_NE(result.status().message().find(needle),
+                  std::string::npos)
+            << result.status().message();
+    };
+
+    SimulationSetup no_trace = complete;
+    no_trace.trace = nullptr;
+    expectRejected(no_trace, "no job trace");
+
+    SimulationSetup no_policy = complete;
+    no_policy.policy = nullptr;
+    expectRejected(no_policy, "no policy");
+
+    SimulationSetup no_queues = complete;
+    no_queues.queues = nullptr;
+    expectRejected(no_queues, "no queue configuration");
+
+    SimulationSetup no_cis = complete;
+    no_cis.cis = nullptr;
+    expectRejected(no_cis, "no carbon source");
+}
+
+TEST(SimulatorChecked, RejectsMismatchedHorizons)
+{
+    // Carbon trace shorter than the last job arrival: the checked
+    // entry point reports the mismatch instead of asserting deep
+    // inside the scheduler.
+    const CarbonTrace carbon = flatTrace(100.0, 2);
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(1));
+    const JobTrace trace("t", {{1, hours(100), 100, 1}});
+    const PolicyPtr policy = makePolicy("NoWait");
+
+    SimulationSetup setup;
+    setup.trace = &trace;
+    setup.policy = policy.get();
+    setup.queues = &queues;
+    setup.cis = &cis;
+    const Result<SimulationResult> result = simulateChecked(setup);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_NE(result.status().message().find("horizons"),
+              std::string::npos)
+        << result.status().message();
+}
+
+TEST(SimulatorChecked, InvalidClusterConfigIsAStatus)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(1));
+    const JobTrace trace("t", {{1, 0, 100, 1}});
+    const PolicyPtr policy = makePolicy("NoWait");
+
+    SimulationSetup setup;
+    setup.trace = &trace;
+    setup.policy = policy.get();
+    setup.queues = &queues;
+    setup.cis = &cis;
+    setup.cluster.reserved_cores = 5;
+    setup.strategy = ResourceStrategy::OnDemandOnly;
+    const Result<SimulationResult> result = simulateChecked(setup);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_NE(result.status().message().find("reserved"),
+              std::string::npos)
+        << result.status().message();
 }
 
 } // namespace
