@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Extension — elastic scaling (CarbonScaler). Sweeps the elastic
+ * profile family {off, linear, diminishing} across the fixed-width
+ * policy portfolio plus the elastic pair (Elastic-NoWait,
+ * Carbon-Scaler) on the week-long Alibaba-PAI trace.
+ *
+ * Shape targets (CarbonScaler, arXiv:2302.08681): with linear
+ * scaling Carbon-Scaler shifts the same work into the greenest
+ * slots at higher width and beats every fixed-width policy on
+ * carbon without extending completion; with diminishing returns the
+ * savings shrink but survive, since extra instances are only bought
+ * where the marginal carbon per unit work stays favourable.
+ * Fixed-width policies ignore the profile, so their rows are
+ * constant across profiles — a visible invariance check.
+ */
+
+#include "bench_common.h"
+
+#include "analysis/sweep.h"
+#include "common/table.h"
+#include "sim/results.h"
+
+using namespace gaia;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseBenchArgs(argc, argv);
+    bench::banner("Extension: elastic scaling",
+                  "CarbonScaler vs fixed-width portfolio across "
+                  "elastic profiles (week Alibaba-PAI, SA-AU)");
+
+    ScenarioSpec base;
+    base.workload = WorkloadSpec::week(1);
+    base.carbon = CarbonSpec::forRegion(Region::SouthAustralia,
+                                        bench::weekSlots(), 1);
+
+    const std::vector<std::string> profiles = {
+        "off", "linear:max=4", "diminishing:max=4,alpha=0.6"};
+    const std::vector<std::string> policies = {
+        "NoWait", "Wait-Awhile", "Carbon-Time", "Elastic-NoWait",
+        "Carbon-Scaler"};
+
+    SweepEngine sweep;
+    std::vector<std::size_t> cells;
+    cells.reserve(profiles.size() * policies.size());
+    for (const std::string &profile : profiles) {
+        for (const std::string &policy : policies) {
+            ScenarioSpec spec = base;
+            spec.policy = policy;
+            spec.elastic_profile = profile;
+            spec.label = policy + " profile=" + profile;
+            cells.push_back(sweep.add(std::move(spec)));
+        }
+    }
+    sweep.run();
+
+    const auto cell = [&](std::size_t pri,
+                          std::size_t poi) -> const auto & {
+        return sweep.result(cells[pri * policies.size() + poi])
+            .value();
+    };
+    // NoWait with elastic scaling off: the paper's baseline.
+    const SimulationResult &nowait = cell(0, 0);
+
+    auto csv = bench::openCsv(
+        "ext_elastic_scaling",
+        {"profile", "policy", "carbon_kg", "norm_carbon",
+         "mean_wait_h", "mean_completion_h", "cost",
+         "fingerprint"});
+    TextTable table("Carbon normalized to NoWait (off)",
+                    {"policy", "off", "linear:max=4",
+                     "diminishing a=0.6"});
+    for (std::size_t poi = 0; poi < policies.size(); ++poi) {
+        std::vector<double> row;
+        for (std::size_t pri = 0; pri < profiles.size(); ++pri) {
+            const SimulationResult &r = cell(pri, poi);
+            const double norm = r.carbon_kg / nowait.carbon_kg;
+            row.push_back(norm);
+            csv.writeRow({profiles[pri], policies[poi],
+                          fmt(r.carbon_kg, 6), fmt(norm, 4),
+                          fmt(r.meanWaitingHours(), 4),
+                          fmt(r.meanCompletionHours(), 4),
+                          fmt(r.totalCost(), 4),
+                          std::to_string(resultFingerprint(r))});
+        }
+        table.addRow(policies[poi], row);
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nExpectation: fixed-width rows are flat across "
+           "profiles (they ignore elasticity). Carbon-Scaler "
+           "matches Wait-Awhile when the profile is off, beats it "
+           "under linear scaling by concentrating width in green "
+           "slots, and keeps a smaller edge under diminishing "
+           "returns. Elastic-NoWait trades carbon for the fastest "
+           "completions (negative waiting).\n\n";
+    sweep.printSummary(std::cout);
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Extension — provisioning co-optimization (CarbonFlex-style).
+ * Sweeps the purchase-option mix (resource strategy × reserved
+ * pool size) under the Carbon-Scaler elastic policy, asking where
+ * the cost of the carbon savings bottoms out when the provisioning
+ * plan and the scaling policy are chosen together.
+ *
+ * Shape targets (CarbonFlex, arXiv:2505.18357, transposed to this
+ * simulator): elastic width concentrates demand, so the cost
+ * U-shape in reserved capacity bottoms out at a smaller pool than
+ * the fixed-width Figure 19 sweep; spot admission keeps most of
+ * the carbon savings at a lower cost until evictions bite.
+ */
+
+#include "bench_common.h"
+
+#include "analysis/sweep.h"
+#include "common/table.h"
+#include "sim/results.h"
+
+using namespace gaia;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseBenchArgs(argc, argv);
+    bench::banner("Extension: provisioning mix",
+                  "Carbon-Scaler across strategy x reserved grid "
+                  "(week Azure-VM, SA-AU)");
+
+    // Azure-VM jobs (long, VM-shaped) keep a reserved pool busy and
+    // straddle the spot bound, so the strategy axis separates; the
+    // short-job PAI mix would leave Spot-First == Spot-RES.
+    TraceBuildOptions options;
+    options.job_count = 1000;
+    options.span = kSecondsPerWeek;
+    options.seed = 1;
+    ScenarioSpec base;
+    base.workload =
+        WorkloadSpec::builtin(WorkloadSource::AzureVm, options);
+    base.carbon = CarbonSpec::forRegion(Region::SouthAustralia,
+                                        bench::weekSlots(), 1);
+    base.policy = "Carbon-Scaler";
+    base.elastic_profile = "diminishing:max=4,alpha=0.6";
+
+    struct StrategyAxis
+    {
+        ResourceStrategy strategy;
+        std::string name;
+    };
+    const std::vector<StrategyAxis> strategies = {
+        {ResourceStrategy::ReservedFirst, "RES-First"},
+        {ResourceStrategy::SpotFirst, "Spot-First"},
+        {ResourceStrategy::SpotReserved, "Spot-RES"},
+    };
+    const std::vector<int> reserved = {0, 4, 8, 12, 16};
+
+    SweepEngine sweep;
+    // The paper's baseline: NoWait, on-demand only, no elasticity.
+    ScenarioSpec nowait_spec = base;
+    nowait_spec.policy = "NoWait";
+    nowait_spec.elastic_profile = "off";
+    nowait_spec.label = "NoWait on-demand baseline";
+    const std::size_t nowait_cell = sweep.add(nowait_spec);
+    // Carbon-Scaler on plain on-demand: the provisioning-free
+    // reference the mix cells must beat on cost to justify it.
+    ScenarioSpec od_spec = base;
+    od_spec.label = "Carbon-Scaler on-demand";
+    const std::size_t od_cell = sweep.add(od_spec);
+
+    std::vector<std::size_t> cells;
+    cells.reserve(strategies.size() * reserved.size());
+    for (const StrategyAxis &axis : strategies) {
+        for (int cores : reserved) {
+            ScenarioSpec spec = base;
+            spec.strategy = axis.strategy;
+            spec.cluster.reserved_cores = cores;
+            spec.cluster.spot_eviction_rate = 0.05;
+            spec.cluster.spot_max_length = hours(2);
+            spec.label =
+                axis.name + " R=" + std::to_string(cores);
+            cells.push_back(sweep.add(std::move(spec)));
+        }
+    }
+    sweep.run();
+
+    const SimulationResult &baseline =
+        sweep.result(nowait_cell).value();
+    const SimulationResult &on_demand =
+        sweep.result(od_cell).value();
+
+    auto csv = bench::openCsv(
+        "ext_provisioning_mix",
+        {"strategy", "reserved", "norm_cost", "norm_carbon",
+         "mean_wait_h", "evictions", "fingerprint"});
+    const auto writeRow = [&](const std::string &strategy,
+                              const std::string &cores,
+                              const SimulationResult &r) {
+        csv.writeRow({strategy, cores,
+                      fmt(r.totalCost() / baseline.totalCost(), 4),
+                      fmt(r.carbon_kg / baseline.carbon_kg, 4),
+                      fmt(r.meanWaitingHours(), 4),
+                      std::to_string(r.eviction_count),
+                      std::to_string(resultFingerprint(r))});
+    };
+    writeRow("OnDemand", "0", on_demand);
+
+    TextTable cost_table("(a) Cost normalized to NoWait on-demand",
+                         {"reserved", "RES-First", "Spot-First",
+                          "Spot-RES"});
+    TextTable carbon_table(
+        "(b) Carbon normalized to NoWait on-demand",
+        {"reserved", "RES-First", "Spot-First", "Spot-RES"});
+    for (std::size_t ri = 0; ri < reserved.size(); ++ri) {
+        std::vector<double> cost_row, carbon_row;
+        for (std::size_t si = 0; si < strategies.size(); ++si) {
+            const SimulationResult &r =
+                sweep.result(cells[si * reserved.size() + ri])
+                    .value();
+            cost_row.push_back(r.totalCost() /
+                               baseline.totalCost());
+            carbon_row.push_back(r.carbon_kg / baseline.carbon_kg);
+            writeRow(strategies[si].name,
+                     std::to_string(reserved[ri]), r);
+        }
+        cost_table.addRow(std::to_string(reserved[ri]), cost_row);
+        carbon_table.addRow(std::to_string(reserved[ri]),
+                            carbon_row);
+    }
+    cost_table.print(std::cout);
+    carbon_table.print(std::cout);
+
+    std::cout << "\nCarbon-Scaler on-demand reference: cost "
+              << fmt(on_demand.totalCost() / baseline.totalCost(),
+                     4)
+              << "x, carbon "
+              << fmt(on_demand.carbon_kg / baseline.carbon_kg, 4)
+              << "x NoWait.\nExpectation: a shallow reserved "
+                 "U-shape bottoming out at a small pool (elastic "
+                 "width concentrates demand, so extra reserved "
+                 "cores idle quickly), with spot admission "
+                 "undercutting the pure reserved mix at equal "
+                 "carbon until evictions erode it.\n\n";
+    sweep.printSummary(std::cout);
+    return 0;
+}

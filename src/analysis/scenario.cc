@@ -11,6 +11,7 @@
 #include "fault/injector.h"
 #include "sim/simulator.h"
 #include "trace/forecast.h"
+#include "workload/elastic_profile.h"
 #include "workload/resampler.h"
 
 namespace gaia {
@@ -297,6 +298,8 @@ runScenario(const ScenarioSpec &spec, AssetCache &cache)
     GAIA_REQUIRE(spec.cis.noise >= 0.0, "negative forecast noise ",
                  spec.cis.noise);
     GAIA_TRY(spec.fault.validate());
+    GAIA_TRY_ASSIGN(const ElasticProfile elastic,
+                    parseElasticProfile(spec.elastic_profile));
 
     GAIA_TRY_ASSIGN(const std::shared_ptr<const JobTrace> trace,
                     cache.trace(spec.workload));
@@ -353,6 +356,10 @@ runScenario(const ScenarioSpec &spec, AssetCache &cache)
     setup.cluster = spec.cluster;
     setup.strategy = spec.strategy;
     setup.faults = injector.get();
+    // Stack-local like the fault wiring: profiles are per-cell
+    // state applied at submit, never onto the shared cached trace.
+    if (elastic.enabled())
+        setup.elastic = &elastic;
     return simulateChecked(setup);
 }
 

@@ -169,6 +169,15 @@ struct ScenarioSpec
     /** Fault-injection configuration; default (all rates zero)
      *  leaves every cell byte-identical to a fault-free build. */
     FaultSpec fault;
+
+    /**
+     * Elastic-scaling profile applied to every job in the cell (see
+     * parseElasticProfile for the grammar, e.g.
+     * "linear:max=4" or "diminishing:max=8,alpha=0.7"). Empty or
+     * "off" leaves every job fixed-width and the cell byte-identical
+     * to a pre-elastic build.
+     */
+    std::string elastic_profile;
 };
 
 /**

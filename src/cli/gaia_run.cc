@@ -56,6 +56,10 @@ main(int argc, char **argv)
     if (*action == CliAction::ListPolicies) {
         for (const std::string &name : allPolicyNames())
             std::cout << name << "\n";
+        // The elastic family is listed apart from the paper's
+        // Table 1 set (see elasticPolicyNames()).
+        for (const std::string &name : elasticPolicyNames())
+            std::cout << name << "\n";
         return 0;
     }
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "workload/elastic_profile.h"
 
 namespace gaia {
 
@@ -76,6 +77,13 @@ cliUsage()
            "Wait-Awhile | Ecovisor |\n"
            "                        Lowest-Slot | Lowest-Window | "
            "Carbon-Time (default)\n"
+           "  --scaling-policy NAME Elastic-NoWait | Carbon-Scaler "
+           "(elastic family; alias for --policy)\n"
+           "  --elastic-profile SPEC  per-job scaling profile: off "
+           "(default) |\n"
+           "                        linear:max=K[,min=M] | "
+           "diminishing:max=K,alpha=A[,min=M] |\n"
+           "                        list:rates=R0+R1+...[,min=M]\n"
            "  --strategy NAME       on-demand (default) | hybrid | "
            "res-first | spot-first | spot-res\n"
            "  -w, --waiting SxL     max waiting hours, short x "
@@ -176,8 +184,12 @@ parseCliOptions(const std::vector<std::string> &raw_args,
         } else if (arg == "--carbon-csv") {
             GAIA_TRY_ASSIGN(options.carbon_csv,
                             need_value(i++, arg));
-        } else if (arg == "--policy") {
+        } else if (arg == "--policy" ||
+                   arg == "--scaling-policy") {
             GAIA_TRY_ASSIGN(options.policy, need_value(i++, arg));
+        } else if (arg == "--elastic-profile") {
+            GAIA_TRY_ASSIGN(options.elastic_profile,
+                            need_value(i++, arg));
         } else if (arg == "--strategy") {
             GAIA_TRY_ASSIGN(options.strategy, need_value(i++, arg));
         } else if (arg == "-w" || arg == "--waiting") {
@@ -313,6 +325,7 @@ parseCliOptions(const std::vector<std::string> &raw_args,
 
     // Cross-checks that do not require running anything.
     GAIA_TRY(options.resolvedStrategy());
+    GAIA_TRY(parseElasticProfile(options.elastic_profile));
     GAIA_REQUIRE(!options.resample || !options.workload_csv.empty(),
                  "--resample requires --workload-csv");
     if (options.workload_csv.empty()) {

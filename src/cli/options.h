@@ -49,6 +49,12 @@ struct CliOptions
 
     /** Scheduling policy name (see makePolicy). */
     std::string policy = "Carbon-Time";
+    /**
+     * Elastic-scaling profile applied to every job ("" or "off" =
+     * fixed-width jobs; see parseElasticProfile for the grammar,
+     * e.g. "linear:max=4" or "diminishing:max=8,alpha=0.7").
+     */
+    std::string elastic_profile;
     /** Resource strategy: "on-demand", "hybrid", "res-first",
      *  "spot-first", or "spot-res". */
     std::string strategy = "on-demand";

@@ -80,6 +80,7 @@ scenarioFromOptions(const CliOptions &options)
     GAIA_TRY(fillCarbonSpec(options, spec));
 
     spec.policy = options.policy;
+    spec.elastic_profile = options.elastic_profile;
     spec.short_wait = options.short_wait;
     spec.long_wait = options.long_wait;
 

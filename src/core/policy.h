@@ -82,6 +82,15 @@ class SchedulingPolicy
     virtual bool suspendResume() const { return false; }
 
     /**
+     * True when plans may use multi-instance segments (widths above
+     * 1) for jobs carrying an enabled ElasticProfile. Elastic plans
+     * are exempt from the fixed-width contract below: their
+     * segments' *work* (duration x throughput at the segment width)
+     * covers job.length rather than their wall time.
+     */
+    virtual bool elastic() const { return false; }
+
+    /**
      * Plan `job`'s execution. The returned plan's first segment
      * starts within [ctx.now, ctx.now + ctx.queue->max_wait] and its
      * segments sum to job.length.

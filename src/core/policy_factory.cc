@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "core/elastic.h"
 #include "core/policies.h"
 
 namespace gaia {
@@ -24,12 +25,18 @@ tryMakePolicy(const std::string &name)
         return PolicyPtr(std::make_unique<LowestWindowPolicy>());
     if (key == "carbon-time")
         return PolicyPtr(std::make_unique<CarbonTimePolicy>());
+    if (key == "carbon-scaler" || key == "carbonscaler")
+        return PolicyPtr(std::make_unique<CarbonScalerPolicy>());
+    if (key == "elastic-nowait")
+        return PolicyPtr(std::make_unique<ElasticNoWaitPolicy>());
     std::string known;
     for (const std::string &n : allPolicyNames()) {
         if (!known.empty())
             known += ", ";
         known += n;
     }
+    for (const std::string &n : elasticPolicyNames())
+        known += ", " + n;
     return Status::notFound("unknown policy '", name,
                             "' (known: ", known, ")");
 }
@@ -49,6 +56,12 @@ allPolicyNames()
     return {"NoWait",      "AllWait-Threshold", "Wait-Awhile",
             "Ecovisor",    "Lowest-Slot",       "Lowest-Window",
             "Carbon-Time"};
+}
+
+std::vector<std::string>
+elasticPolicyNames()
+{
+    return {"Elastic-NoWait", "Carbon-Scaler"};
 }
 
 PolicyCapabilities

@@ -28,8 +28,18 @@ PolicyPtr makePolicy(const std::string &name);
  */
 Result<PolicyPtr> tryMakePolicy(const std::string &name);
 
-/** Canonical names of every available policy, Table 1 order. */
+/**
+ * Canonical names of the paper's policy set, Table 1 order. The
+ * elastic family is deliberately excluded so Table 1 outputs stay
+ * exactly the paper's; see elasticPolicyNames().
+ */
 std::vector<std::string> allPolicyNames();
+
+/**
+ * Canonical names of the elastic-scaling policy family
+ * (CarbonScaler extension; see core/elastic.h).
+ */
+std::vector<std::string> elasticPolicyNames();
 
 /** One row of the paper's Table 1. */
 struct PolicyCapabilities

@@ -31,9 +31,21 @@ SchedulePlan::validate() const
         GAIA_ASSERT(s.start >= 0, "segment starts before t=0");
         GAIA_ASSERT(s.end > s.start, "empty or inverted segment [",
                     s.start, ", ", s.end, ")");
+        GAIA_ASSERT(s.width >= 1, "segment width ", s.width,
+                    " below 1");
         if (i > 0) {
-            GAIA_ASSERT(s.start > segments_[i - 1].end,
-                        "segments overlap or touch after merging");
+            const RunSegment &prev = segments_[i - 1];
+            // Equal-width neighbours must be strictly separated
+            // (touching ones were merged); a width change may abut —
+            // that is an elastic job resizing without pausing.
+            if (s.width == prev.width) {
+                GAIA_ASSERT(s.start > prev.end,
+                            "segments overlap or touch after "
+                            "merging");
+            } else {
+                GAIA_ASSERT(s.start >= prev.end,
+                            "segments overlap");
+            }
         }
     }
 }
@@ -47,6 +59,15 @@ SchedulePlan::totalRunTime() const
     return total;
 }
 
+int
+SchedulePlan::maxWidth() const
+{
+    int width = 1;
+    for (const RunSegment &s : segments_)
+        width = std::max(width, s.width);
+    return width;
+}
+
 std::string
 SchedulePlan::toString() const
 {
@@ -56,6 +77,8 @@ SchedulePlan::toString() const
             oss << " + ";
         oss << "[" << segments_[i].start << ", " << segments_[i].end
             << ")";
+        if (segments_[i].width != 1)
+            oss << "x" << segments_[i].width;
     }
     return oss.str();
 }
@@ -69,7 +92,8 @@ mergeSegments(std::vector<RunSegment> segments)
               });
     std::vector<RunSegment> merged;
     for (const RunSegment &s : segments) {
-        if (!merged.empty() && s.start <= merged.back().end) {
+        if (!merged.empty() && s.start <= merged.back().end &&
+            s.width == merged.back().width) {
             GAIA_ASSERT(s.start >= merged.back().end,
                         "overlapping plan segments: ", s.start,
                         " < ", merged.back().end);

@@ -23,11 +23,19 @@
 
 namespace gaia {
 
-/** Half-open execution interval [start, end). */
+/**
+ * Half-open execution interval [start, end).
+ *
+ * `width` is the number of concurrent instances executing during the
+ * segment; it is 1 for every fixed-width (paper) plan and only
+ * differs for elastic jobs (see workload/elastic_profile.h), whose
+ * plans step through widths as marginal capacity is allocated.
+ */
 struct RunSegment
 {
     Seconds start = 0;
     Seconds end = 0;
+    int width = 1;
 
     Seconds duration() const { return end - start; }
 };
@@ -76,6 +84,9 @@ class SchedulePlan
     /** Total planned compute time across segments. */
     Seconds totalRunTime() const;
 
+    /** Largest segment width (1 for every fixed-width plan). */
+    int maxWidth() const;
+
     /** True for suspend-resume plans (more than one segment). */
     bool isSuspendResume() const { return segments_.size() > 1; }
 
@@ -91,8 +102,10 @@ class SchedulePlan
 };
 
 /**
- * Merge chronologically sorted intervals, coalescing abutting ones;
- * helper shared by the suspend-resume policies.
+ * Merge chronologically sorted intervals, coalescing abutting ones
+ * of equal width; helper shared by the suspend-resume policies.
+ * Abutting segments of different widths stay separate — they are an
+ * elastic job changing width without pausing.
  */
 std::vector<RunSegment>
 mergeSegments(std::vector<RunSegment> segments);

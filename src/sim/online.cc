@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/obs.h"
+#include "core/elastic.h"
 #include "fault/injector.h"
 
 namespace gaia {
@@ -20,6 +21,31 @@ obs::Counter &c_evictions = obs::counter("sim.evictions");
 obs::Counter &c_faults_injected = obs::counter("fault.injected");
 obs::Counter &c_cis_retries = obs::counter("cis.retries");
 obs::Counter &c_degraded = obs::counter("policy.degraded_slots");
+obs::Counter &c_spot_instance_retries =
+    obs::counter("fault.spot_instance_retries");
+obs::Counter &c_degraded_instance_hours =
+    obs::counter("policy.degraded_instance_hours");
+
+/**
+ * Post-eviction restarts abandon the (now stale) plan and re-run the
+ * whole job contiguously; elastic jobs restart at full width, so the
+ * restart covers their work in ceil(length / maxThroughput) seconds.
+ */
+Seconds
+restartDuration(const Job &job)
+{
+    if (!job.elastic.enabled())
+        return job.length;
+    return static_cast<Seconds>(
+        std::ceil(static_cast<double>(job.length) /
+                  job.elastic.maxThroughput()));
+}
+
+int
+restartWidth(const Job &job)
+{
+    return job.elastic.enabled() ? job.elastic.maxInstances() : 1;
+}
 
 } // namespace
 
@@ -64,6 +90,16 @@ OnlineScheduler::create(const SchedulingPolicy &policy,
         GAIA_TRY(faults->spec().validate());
     return OnlineScheduler(policy, queues, cis, cluster, strategy,
                            std::move(workload), faults);
+}
+
+void
+OnlineScheduler::setDefaultElasticProfile(
+    const ElasticProfile &profile)
+{
+    const Status valid = profile.validate();
+    GAIA_ASSERT(valid.isOk(), "invalid default elastic profile: ",
+                valid.message());
+    default_elastic_ = profile;
 }
 
 void
@@ -143,6 +179,8 @@ OnlineScheduler::submit(const Job &job)
             ++faults_injected_;
         }
     }
+    if (default_elastic_.enabled() && !admitted.elastic.enabled())
+        admitted.elastic = default_elastic_;
     const std::size_t idx = states_.size();
     GAIA_ASSERT(idx <= 0xffffffffu, "job index overflows the event "
                 "payload");
@@ -189,9 +227,17 @@ OnlineScheduler::onArrival(std::size_t idx)
         // Retry budget exhausted: degrade to the carbon-oblivious
         // NoWait plan rather than blocking the queue. Recovery is
         // automatic — the next arrival (or retry probe) that finds
-        // the source available plans normally again.
+        // the source available plans normally again. Elastic jobs
+        // degrade to the elastic NoWait analogue (full width now),
+        // keeping their work-conserving completion semantics.
         ++degraded_plans_;
-        state.plan = SchedulePlan(job.submit, job.length);
+        state.plan = policy_.elastic() && job.elastic.enabled()
+                         ? elasticNoWaitPlan(job)
+                         : SchedulePlan(job.submit, job.length);
+        for (const RunSegment &seg : state.plan.segments())
+            degraded_instance_seconds_ +=
+                static_cast<std::uint64_t>(seg.duration()) *
+                static_cast<std::uint64_t>(seg.width);
     } else {
         const QueueSpec &queue = queues_.queueForJob(job);
         PlanContext ctx;
@@ -205,11 +251,33 @@ OnlineScheduler::onArrival(std::size_t idx)
             state.plan = policy_.plan(job, ctx);
         }
 
-        // Plan contract checks (see SchedulingPolicy::plan).
-        GAIA_ASSERT(state.plan.totalRunTime() == job.length,
-                    "policy '", policy_.name(), "' planned ",
-                    state.plan.totalRunTime(), "s for a ",
-                    job.length, "s job");
+        // Plan contract checks (see SchedulingPolicy::plan). An
+        // elastic policy planning an elastic job covers the job's
+        // *work* at the planned widths; everyone else covers its
+        // wall time exactly.
+        if (policy_.elastic() && job.elastic.enabled()) {
+            const ElasticProfile &profile = job.elastic;
+            double work = 0.0;
+            for (const RunSegment &seg : state.plan.segments())
+                work += static_cast<double>(seg.duration()) *
+                        profile.throughputAt(seg.width);
+            GAIA_ASSERT(
+                work + 1e-6 >= static_cast<double>(job.length) &&
+                    work < static_cast<double>(job.length) +
+                               2.0 * profile.maxThroughput() + 1e-6,
+                "policy '", policy_.name(), "' planned ", work,
+                " work units for a ", job.length, "s job");
+            GAIA_ASSERT(state.plan.maxWidth() <=
+                            profile.maxInstances(),
+                        "plan width ", state.plan.maxWidth(),
+                        " exceeds the job's maximum of ",
+                        profile.maxInstances());
+        } else {
+            GAIA_ASSERT(state.plan.totalRunTime() == job.length,
+                        "policy '", policy_.name(), "' planned ",
+                        state.plan.totalRunTime(), "s for a ",
+                        job.length, "s job");
+        }
         GAIA_ASSERT(state.plan.plannedStart() >= job.submit,
                     "plan starts before submission");
         GAIA_ASSERT(state.plan.plannedStart() <=
@@ -288,8 +356,10 @@ OnlineScheduler::dispatch(std::size_t idx)
             return;
         }
         // Work-conserving: run immediately when reserved capacity
-        // is free, even if the policy preferred to wait.
-        if (pool_.canFit(job.cpus)) {
+        // is free, even if the policy preferred to wait. (Plans
+        // reaching here are single-segment; elastic ones need the
+        // segment's full gang of cores.)
+        if (pool_.canFit(job.cpus * state.plan.segment(0).width)) {
             startOnReserved(idx, at);
             return;
         }
@@ -319,7 +389,8 @@ OnlineScheduler::followPlan(std::size_t idx, bool on_spot)
         for (std::size_t s = 0; s < state.plan.segmentCount(); ++s) {
             const RunSegment &seg = state.plan.segment(s);
             recordSegment(idx, seg.start, seg.end,
-                          PurchaseOption::OnDemand, /*lost=*/false);
+                          PurchaseOption::OnDemand, /*lost=*/false,
+                          seg.width);
         }
         return;
     }
@@ -340,23 +411,25 @@ OnlineScheduler::placeSegment(std::size_t idx, std::size_t seg_idx)
     if (state.aborted)
         return; // plan superseded by an eviction restart
     const RunSegment &seg = state.plan.segment(seg_idx);
-    const int cpus = state.job.cpus;
+    const int cores = state.job.cpus * seg.width;
     const Seconds at = events_.now();
     GAIA_ASSERT(at == seg.start, "segment event fired at ", at,
                 " for a segment starting at ", seg.start);
 
     if (strategy_ != ResourceStrategy::OnDemandOnly &&
-        pool_.canFit(cpus)) {
-        pool_.acquire(cpus, at);
+        pool_.canFit(cores)) {
+        pool_.acquire(cores, at);
         recordSegment(idx, seg.start, seg.end,
-                      PurchaseOption::Reserved, /*lost=*/false);
+                      PurchaseOption::Reserved, /*lost=*/false,
+                      seg.width);
         events_.schedule(
             seg.end,
             SimEvent{EvPoolRelease,
-                     static_cast<std::uint32_t>(cpus), 0});
+                     static_cast<std::uint32_t>(cores), 0});
     } else {
         recordSegment(idx, seg.start, seg.end,
-                      PurchaseOption::OnDemand, /*lost=*/false);
+                      PurchaseOption::OnDemand, /*lost=*/false,
+                      seg.width);
     }
 }
 
@@ -369,12 +442,12 @@ OnlineScheduler::placeSpotSegment(std::size_t idx,
         return;
     const RunSegment &seg = state.plan.segment(seg_idx);
     state.started = true;
-    runSpotSlice(idx, seg.start, seg.end);
+    runSpotSlice(idx, seg.start, seg.end, seg.width);
 }
 
 void
 OnlineScheduler::runSpotSlice(std::size_t idx, Seconds from,
-                              Seconds to)
+                              Seconds to, int width)
 {
     JobState &state = states_[idx];
 
@@ -397,17 +470,18 @@ OnlineScheduler::runSpotSlice(std::size_t idx, Seconds from,
     }
     if (evict_at < 0) {
         recordSegment(idx, from, to, PurchaseOption::Spot,
-                      /*lost=*/false);
+                      /*lost=*/false, width);
         return;
     }
 
     // Evicted: this slice (and any previously completed slices) is
-    // wasted; the paper assumes all progress is lost.
+    // wasted; the paper assumes all progress is lost. A width-w
+    // gang loses all w instances' work together.
     if (storm)
         ++faults_injected_;
     if (evict_at > from) {
         recordSegment(idx, from, evict_at, PurchaseOption::Spot,
-                      /*lost=*/true);
+                      /*lost=*/true, width);
     }
     for (PlacedSegment &done : state.outcome.segments)
         done.lost = true;
@@ -428,28 +502,37 @@ OnlineScheduler::restartAfterEviction(std::size_t idx, Seconds at)
     // the same job possible — before falling through to the
     // baseline ladder below. Gated on storms() so the faults-off
     // path is untouched.
+    const Seconds duration = restartDuration(job);
+    const int width = restartWidth(job);
     if (faults_ != nullptr && faults_->storms() &&
         state.spot_eligible && spotEnabled() &&
         static_cast<int>(state.spot_retries) <
             faults_->spec().storm_spot_retries) {
         ++state.spot_retries;
-        runSpotSlice(idx, at, at + job.length);
+        // Every instance of the gang re-acquires spot capacity
+        // separately, so instance-level retries scale with width.
+        spot_instance_retries_ +=
+            static_cast<std::uint64_t>(width);
+        runSpotSlice(idx, at, at + duration, width);
         return;
     }
     // Restart the full job; prefer a free reserved core, matching
     // the paper ("on either on-demand or reserved instances based
     // on availability"). The restart never returns to spot.
-    if (usesReserved() && pool_.canFit(job.cpus)) {
-        pool_.acquire(job.cpus, at);
-        recordSegment(idx, at, at + job.length,
-                      PurchaseOption::Reserved, /*lost=*/false);
+    const int cores = job.cpus * width;
+    if (usesReserved() && pool_.canFit(cores)) {
+        pool_.acquire(cores, at);
+        recordSegment(idx, at, at + duration,
+                      PurchaseOption::Reserved, /*lost=*/false,
+                      width);
         events_.schedule(
-            at + job.length,
+            at + duration,
             SimEvent{EvPoolRelease,
-                     static_cast<std::uint32_t>(job.cpus), 0});
+                     static_cast<std::uint32_t>(cores), 0});
     } else {
-        recordSegment(idx, at, at + job.length,
-                      PurchaseOption::OnDemand, /*lost=*/false);
+        recordSegment(idx, at, at + duration,
+                      PurchaseOption::OnDemand, /*lost=*/false,
+                      width);
     }
 }
 
@@ -458,25 +541,33 @@ OnlineScheduler::startOnReserved(std::size_t idx, Seconds at)
 {
     JobState &state = states_[idx];
     const Job &job = state.job;
+    // Only single-segment plans take the work-conserving path; the
+    // run keeps the planned duration and width but starts at `at`.
+    GAIA_ASSERT(!state.plan.isSuspendResume(),
+                "work-conserving start of a suspend-resume plan");
+    const int width = state.plan.segment(0).width;
+    const Seconds duration = state.plan.totalRunTime();
+    const int cores = job.cpus * width;
     state.started = true;
     state.pending = false;
-    pool_.acquire(job.cpus, at);
-    recordSegment(idx, at, at + job.length,
-                  PurchaseOption::Reserved, /*lost=*/false);
+    pool_.acquire(cores, at);
+    recordSegment(idx, at, at + duration,
+                  PurchaseOption::Reserved, /*lost=*/false, width);
     events_.schedule(
-        at + job.length,
+        at + duration,
         SimEvent{EvPoolRelease,
-                 static_cast<std::uint32_t>(job.cpus), 0});
+                 static_cast<std::uint32_t>(cores), 0});
 }
 
 void
 OnlineScheduler::recordSegment(std::size_t idx, Seconds from,
                                Seconds to, PurchaseOption option,
-                               bool lost)
+                               bool lost, int width)
 {
     GAIA_ASSERT(to > from, "empty placement [", from, ", ", to, ")");
     JobState &state = states_[idx];
-    state.outcome.segments.push_back({from, to, option, lost});
+    state.outcome.segments.push_back({from, to, option, lost,
+                                      width});
 }
 
 void
@@ -495,11 +586,13 @@ OnlineScheduler::onPlannedStart(std::size_t idx)
             break;
         }
     }
-    // Planned start reached without reserved capacity: on-demand.
+    // Planned start reached without reserved capacity: on-demand,
+    // at the plan's duration and width (single-segment plans only).
     state.started = true;
-    const Job &job = state.job;
-    recordSegment(idx, events_.now(), events_.now() + job.length,
-                  PurchaseOption::OnDemand, /*lost=*/false);
+    recordSegment(idx, events_.now(),
+                  events_.now() + state.plan.totalRunTime(),
+                  PurchaseOption::OnDemand, /*lost=*/false,
+                  state.plan.segment(0).width);
 }
 
 void
@@ -511,7 +604,8 @@ OnlineScheduler::drainPending()
     for (auto it = pending_.begin(); it != pending_.end();) {
         JobState &state = states_[it->second];
         GAIA_ASSERT(state.pending, "stale pending-queue entry");
-        if (pool_.canFit(state.job.cpus)) {
+        if (pool_.canFit(state.job.cpus *
+                         state.plan.segment(0).width)) {
             const std::size_t idx = it->second;
             it = pending_.erase(it);
             startOnReserved(idx, at);
@@ -537,15 +631,22 @@ OnlineScheduler::finalizeInto(SimulationResult &result)
                 });
         }
 
+        const ElasticProfile &profile = state.job.elastic;
+        const bool elastic_job = profile.enabled();
         Seconds useful = 0;
+        double useful_work = 0.0;
         o.start = o.segments.front().start;
         o.finish = 0;
         for (const PlacedSegment &seg : o.segments) {
+            // Every per-instance quantity scales with the gang
+            // width (1 for fixed-width jobs, so their books are
+            // bit-identical to before the field existed).
+            const int cores = o.cpus * seg.width;
             const double core_seconds =
-                static_cast<double>(seg.duration()) * o.cpus;
+                static_cast<double>(seg.duration()) * cores;
             const double grams = cis_.trace().gramsFor(
                 seg.start, seg.end,
-                cluster_.energy.kilowatts(o.cpus));
+                cluster_.energy.kilowatts(cores));
             o.carbon_g += grams;
             result.energy_kwh +=
                 cluster_.energy.kilowattHours(core_seconds);
@@ -558,18 +659,18 @@ OnlineScheduler::finalizeInto(SimulationResult &result)
                 cluster_.startup_overhead > 0) {
                 const Seconds ov = cluster_.startup_overhead;
                 overhead_core_seconds =
-                    static_cast<double>(ov) * o.cpus;
+                    static_cast<double>(ov) * cores;
                 const Seconds ov_from =
                     std::max<Seconds>(seg.start - ov, 0);
                 double ov_grams = cis_.trace().gramsFor(
                     ov_from, seg.start,
-                    cluster_.energy.kilowatts(o.cpus));
+                    cluster_.energy.kilowatts(cores));
                 // Clip at t=0: charge the clipped part at the
                 // first slot's intensity.
                 const Seconds clipped = ov - (seg.start - ov_from);
                 if (clipped > 0) {
                     ov_grams += cis_.trace().at(0) *
-                                cluster_.energy.kilowatts(o.cpus) *
+                                cluster_.energy.kilowatts(cores) *
                                 static_cast<double>(clipped) /
                                 static_cast<double>(kSecondsPerHour);
                 }
@@ -604,11 +705,31 @@ OnlineScheduler::finalizeInto(SimulationResult &result)
                 o.lost_core_seconds += core_seconds;
             } else {
                 useful += seg.duration();
+                useful_work +=
+                    static_cast<double>(seg.duration()) *
+                    (elastic_job ? profile.throughputAt(seg.width)
+                                 : 1.0);
                 o.finish = std::max(o.finish, seg.end);
             }
         }
-        GAIA_ASSERT(useful == o.length, "job ", o.id, " ran ",
-                    useful, "s of useful work, expected ", o.length);
+        if (elastic_job) {
+            // Elastic plans deliver work in whole-second chunks per
+            // instance, so up to one second of over-delivery per
+            // marginal instance plus the base chunk can accrue —
+            // bounded by 2 x maxThroughput seconds of work.
+            GAIA_ASSERT(useful_work + 1e-6 >=
+                                static_cast<double>(o.length) &&
+                            useful_work <
+                                static_cast<double>(o.length) +
+                                    2.0 * profile.maxThroughput() +
+                                    1e-6,
+                        "job ", o.id, " delivered ", useful_work,
+                        " work-seconds, expected about ", o.length);
+        } else {
+            GAIA_ASSERT(useful == o.length, "job ", o.id, " ran ",
+                        useful, "s of useful work, expected ",
+                        o.length);
+        }
         if (o.finish > horizon_) {
             // Impossible under the derived horizon (it covers every
             // schedule the queue limits admit); a user-supplied
@@ -664,7 +785,7 @@ OnlineScheduler::finalizeInto(SimulationResult &result)
                         std::min(slot_end, seg.end);
                     busy[slot] +=
                         static_cast<double>(end - cursor) *
-                        o.cpus;
+                        o.cpus * seg.width;
                     cursor = end;
                 }
             }
@@ -755,6 +876,13 @@ OnlineScheduler::finalize()
         c_cis_retries.add(cis_retries_);
     if (degraded_plans_ > 0)
         c_degraded.add(degraded_plans_);
+    if (spot_instance_retries_ > 0)
+        c_spot_instance_retries.add(spot_instance_retries_);
+    if (degraded_instance_seconds_ > 0) {
+        c_degraded_instance_hours.add(
+            (degraded_instance_seconds_ + kSecondsPerHour - 1) /
+            kSecondsPerHour);
+    }
     std::uint64_t evicted_jobs = 0;
     for (const JobOutcome &o : result.outcomes)
         if (o.evictions > 0)

@@ -111,6 +111,13 @@ class OnlineScheduler : private EventQueue::Sink
     /** Pre-size the job pool and event heap for `count` jobs. */
     void reserveJobs(std::size_t count);
 
+    /**
+     * Apply `profile` to every subsequently submitted job that does
+     * not carry an enabled profile of its own — the scenario-level
+     * `--elastic-profile` knob. Call before the affected submits.
+     */
+    void setDefaultElasticProfile(const ElasticProfile &profile);
+
     /** Current simulation time. */
     Seconds now() const { return events_.now(); }
 
@@ -185,12 +192,16 @@ class OnlineScheduler : private EventQueue::Sink
     void followPlan(std::size_t idx, bool on_spot);
     void placeSegment(std::size_t idx, std::size_t seg_idx);
     void placeSpotSegment(std::size_t idx, std::size_t seg_idx);
-    /** Run [from, to) of job `idx` on spot; evict at the earlier of
-     *  the independent sampled eviction and the first storm. */
-    void runSpotSlice(std::size_t idx, Seconds from, Seconds to);
+    /** Run [from, to) of job `idx` on spot at `width` instances;
+     *  evict at the earlier of the independent sampled eviction and
+     *  the first storm. One eviction draw covers the whole gang, so
+     *  the RNG stream is identical to the width-1 stream. */
+    void runSpotSlice(std::size_t idx, Seconds from, Seconds to,
+                      int width);
     void startOnReserved(std::size_t idx, Seconds at);
     void recordSegment(std::size_t idx, Seconds from, Seconds to,
-                       PurchaseOption option, bool lost);
+                       PurchaseOption option, bool lost,
+                       int width = 1);
     void onPlannedStart(std::size_t idx);
     void drainPending();
     void restartAfterEviction(std::size_t idx, Seconds at);
@@ -202,6 +213,9 @@ class OnlineScheduler : private EventQueue::Sink
     ClusterConfig cluster_;
     ResourceStrategy strategy_;
     std::string workload_;
+    /** Scenario-wide elastic profile applied at submit() to jobs
+     *  without one of their own; disabled by default. */
+    ElasticProfile default_elastic_;
     /** Cluster-side fault oracle; nullptr = faults disabled. */
     const FaultInjector *faults_ = nullptr;
 
@@ -229,6 +243,12 @@ class OnlineScheduler : private EventQueue::Sink
     std::uint64_t faults_injected_ = 0;
     std::uint64_t cis_retries_ = 0;
     std::uint64_t degraded_plans_ = 0;
+    /** Per-instance spot re-attempts under storms: each gang retry
+     *  of a width-w job counts w (instances re-acquire separately). */
+    std::uint64_t spot_instance_retries_ = 0;
+    /** Instance-seconds executed under degraded (carbon-oblivious)
+     *  plans; flushed as whole instance-hours. */
+    std::uint64_t degraded_instance_seconds_ = 0;
 };
 
 } // namespace gaia

@@ -121,6 +121,11 @@ resultFingerprint(const SimulationResult &result)
             digest.mix(seg.end);
             digest.mix(static_cast<int>(seg.option));
             digest.mix(seg.lost);
+            // Mixed only when above 1 so every fixed-width
+            // fingerprint (all pinned golden CSVs) is unchanged by
+            // the field's introduction.
+            if (seg.width != 1)
+                digest.mix(seg.width);
         }
     }
     return digest.value();
@@ -153,7 +158,8 @@ allocationSeries(const SimulationResult &result, Seconds step,
                 const Seconds seg_end =
                     std::min(bucket_end, seg.end);
                 series[bucket] +=
-                    static_cast<double>(seg_end - cursor) * o.cpus;
+                    static_cast<double>(seg_end - cursor) * o.cpus *
+                    seg.width;
                 cursor = seg_end;
             }
         }

@@ -32,6 +32,9 @@ struct PlacedSegment
     PurchaseOption option = PurchaseOption::OnDemand;
     /** True for spot work destroyed by an eviction. */
     bool lost = false;
+    /** Concurrent instances during the slice; 1 for every
+     *  fixed-width job, above 1 only for elastic plans. */
+    int width = 1;
 
     Seconds duration() const { return end - start; }
 };
@@ -70,7 +73,9 @@ struct JobOutcome
 
     /** Completion time: finish − submit. */
     Seconds completion() const { return finish - submit; }
-    /** Waiting (non-running) time: completion − useful run time. */
+    /** Waiting (non-running) time: completion − useful run time.
+     *  Negative for elastic jobs that finish faster than their
+     *  single-instance length — a speedup, reported as-is. */
     Seconds waiting() const { return completion() - length; }
     /** Emissions saved versus running immediately. */
     double carbonSaved() const { return carbon_nowait_g - carbon_g; }

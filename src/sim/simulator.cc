@@ -50,6 +50,10 @@ simulateChecked(const SimulationSetup &setup)
                                 *setup.cis, cluster, setup.strategy,
                                 setup.trace->name(), setup.faults));
     scheduler.reserveJobs(setup.trace->jobCount());
+    if (setup.elastic != nullptr) {
+        GAIA_TRY(setup.elastic->validate());
+        scheduler.setDefaultElasticProfile(*setup.elastic);
+    }
     for (const Job &job : setup.trace->jobs()) {
         // A JobTrace is sorted by submit time, so feeding it in
         // order can never submit into the past.

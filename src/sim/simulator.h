@@ -43,6 +43,14 @@ struct SimulationSetup
     ResourceStrategy strategy = ResourceStrategy::OnDemandOnly;
     /** Optional cluster-side fault injector; nullptr = no faults. */
     const FaultInjector *faults = nullptr;
+    /**
+     * Optional scenario-wide elastic profile applied to every job
+     * that does not carry an enabled profile of its own; nullptr
+     * (the default) leaves every job fixed-width. Traces are shared
+     * (and cached) across cells, so the profile is applied per-job
+     * at submit time, never onto the trace itself.
+     */
+    const ElasticProfile *elastic = nullptr;
 };
 
 /**

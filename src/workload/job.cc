@@ -18,6 +18,9 @@ JobTrace::validateJobs(const std::string &name,
                      " has non-positive length ", j.length);
         GAIA_REQUIRE(j.cpus > 0, "trace '", name, "': job ", j.id,
                      " has non-positive cpu demand ", j.cpus);
+        const Status elastic = j.elastic.validate();
+        GAIA_REQUIRE(elastic.isOk(), "trace '", name, "': job ",
+                     j.id, ": ", elastic.message());
     }
     return Status::ok();
 }

@@ -21,6 +21,7 @@
 
 #include "common/status.h"
 #include "common/time.h"
+#include "workload/elastic_profile.h"
 
 namespace gaia {
 
@@ -44,6 +45,13 @@ struct Job
      * experiments model queue misclassification.
      */
     int queue_hint = -1;
+    /**
+     * Elastic-scaling profile (CarbonScaler extension). The default
+     * is a disabled profile: the job runs at fixed width exactly as
+     * in the paper. `length` always measures single-instance work,
+     * so an elastic job finishing at width > 1 completes sooner.
+     */
+    ElasticProfile elastic = {};
 
     /** Core-seconds of compute this job performs. */
     double coreSeconds() const

@@ -228,6 +228,29 @@ TEST(CliOptions, ObservabilitySinkFlags)
                                 "--trace-out"));
 }
 
+TEST(CliOptions, ElasticScalingFlags)
+{
+    const CliOptions defaults = parse({});
+    EXPECT_TRUE(defaults.elastic_profile.empty());
+
+    const CliOptions o =
+        parse({"--scaling-policy", "Carbon-Scaler",
+               "--elastic-profile", "linear:max=4,min=1"});
+    EXPECT_EQ(o.policy, "Carbon-Scaler");
+    EXPECT_EQ(o.elastic_profile, "linear:max=4,min=1");
+
+    // --scaling-policy is a straight alias for --policy.
+    EXPECT_EQ(parse({"--scaling-policy", "Elastic-NoWait"}).policy,
+              "Elastic-NoWait");
+
+    // Profile specs are validated at parse time, not at run time.
+    EXPECT_TRUE(messageContains(
+        parseError({"--elastic-profile", "bogus:max=2"}),
+        "unknown elastic profile kind"));
+    EXPECT_TRUE(messageContains(parseError({"--elastic-profile"}),
+                                "missing value"));
+}
+
 TEST(CliOptions, EqualsSpellingMatchesSpaceSpelling)
 {
     const CliOptions o = parse(

@@ -21,151 +21,14 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "tests/common/reference_oracles.h"
 #include "trace/carbon_trace.h"
 
 namespace gaia {
 namespace {
-
-/**
- * Reference integral with the fast path's rounding discipline: the
- * same per-segment products and the same summation structure —
- * partial segments plus one full-hour block collapsed to a double —
- * except the block is summed by looping over the hours instead of
- * differencing the precomputed prefix table. Bitwise agreement then
- * pins the table (and its indexing) exactly.
- */
-double
-refIntegrate(const CarbonTrace &trace, Seconds from, Seconds to)
-{
-    if (from == to)
-        return 0.0;
-    const std::vector<double> &v = trace.values();
-    CompensatedSum total;
-    Seconds cursor = from;
-    if (cursor < 0) {
-        const Seconds seg_end = std::min<Seconds>(kSecondsPerHour, to);
-        total.add(v.front() * static_cast<double>(seg_end - cursor));
-        cursor = seg_end;
-    }
-    const Seconds end_of_trace = trace.duration();
-    if (cursor < to && cursor < end_of_trace) {
-        const Seconds stop = std::min(to, end_of_trace);
-        const SlotIndex slot = slotOf(cursor);
-        const Seconds slot_end = slotStart(slot) + kSecondsPerHour;
-        if (slot_end >= stop) {
-            total.add(v[static_cast<std::size_t>(slot)] *
-                      static_cast<double>(stop - cursor));
-            cursor = stop;
-        } else {
-            if (cursor != slotStart(slot)) {
-                total.add(v[static_cast<std::size_t>(slot)] *
-                          static_cast<double>(slot_end - cursor));
-                cursor = slot_end;
-            }
-            const auto full_begin =
-                static_cast<std::size_t>(slotOf(cursor));
-            const auto full_end =
-                static_cast<std::size_t>(slotOf(stop));
-            if (full_end > full_begin) {
-                // The looped stand-in for the prefix difference.
-                CompensatedSum block;
-                for (std::size_t s = full_begin; s < full_end; ++s)
-                    block.add(v[s] * 3600.0);
-                total.add(block.round());
-                cursor = static_cast<Seconds>(full_end) *
-                         kSecondsPerHour;
-            }
-            if (cursor < stop) {
-                total.add(v[full_end] *
-                          static_cast<double>(stop - cursor));
-                cursor = stop;
-            }
-        }
-    }
-    while (cursor < to) {
-        const Seconds slot_end =
-            slotStart(slotOf(cursor)) + kSecondsPerHour;
-        const Seconds segment_end = std::min(slot_end, to);
-        total.add(v.back() *
-                  static_cast<double>(segment_end - cursor));
-        cursor = segment_end;
-    }
-    return total.round();
-}
-
-/** Plain-double version of the replaced loop (old rounding). */
-double
-naiveIntegrate(const CarbonTrace &trace, Seconds from, Seconds to)
-{
-    double total = 0.0;
-    Seconds cursor = from;
-    while (cursor < to) {
-        const SlotIndex slot = slotOf(std::max<Seconds>(cursor, 0));
-        const Seconds slot_end = slotStart(slot) + kSecondsPerHour;
-        const Seconds segment_end = std::min(slot_end, to);
-        total += trace.atSlot(slot) *
-                 static_cast<double>(segment_end - cursor);
-        cursor = segment_end;
-    }
-    return total;
-}
-
-/** Reference argmin: the first-win linear scan the RMQ replaced. */
-SlotIndex
-refMinSlot(const CarbonTrace &trace, Seconds from, Seconds to)
-{
-    const SlotIndex first = slotOf(std::max<Seconds>(from, 0));
-    const SlotIndex last = slotOf(std::max<Seconds>(to - 1, 0));
-    SlotIndex best = first;
-    double best_value = trace.atSlot(first);
-    for (SlotIndex s = first + 1; s <= last; ++s) {
-        const double v = trace.atSlot(s);
-        if (v < best_value) {
-            best_value = v;
-            best = s;
-        }
-    }
-    return best;
-}
-
-/**
- * Random trace mixing smooth values with quantized flat runs — the
- * region models clamp to a floor, so real traces contain long runs
- * of exactly-equal values whose ties the fast path must preserve.
- */
-CarbonTrace
-randomTrace(Rng &rng, std::size_t slots)
-{
-    std::vector<double> values;
-    values.reserve(slots);
-    while (values.size() < slots) {
-        if (rng.bernoulli(0.3)) {
-            // Flat run at a quantized level (exact-tie material).
-            const double level =
-                25.0 * static_cast<double>(rng.uniformInt(1, 12));
-            const std::int64_t run = rng.uniformInt(1, 8);
-            for (std::int64_t i = 0;
-                 i < run && values.size() < slots; ++i)
-                values.push_back(level);
-        } else {
-            values.push_back(rng.uniform(10.0, 700.0));
-        }
-    }
-    return CarbonTrace("prop", std::move(values));
-}
-
-/** Random window, biased to also cover the clamp regions. */
-std::pair<Seconds, Seconds>
-randomWindow(Rng &rng, const CarbonTrace &trace)
-{
-    const Seconds lo = -2 * kSecondsPerHour;
-    const Seconds hi = trace.duration() + 6 * kSecondsPerHour;
-    Seconds a = rng.uniformInt(lo, hi);
-    Seconds b = rng.uniformInt(lo, hi);
-    if (a > b)
-        std::swap(a, b);
-    return {a, b};
-}
+// refIntegrate / naiveIntegrate / refMinSlot and the randomized
+// trace/window generators live in tests/common/reference_oracles.h,
+// shared with the plan-cache and elastic oracle suites.
 
 TEST(CarbonTraceFastPath, IntegrateMatchesReferenceBitwise)
 {

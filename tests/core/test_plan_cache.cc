@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include "common/executor.h"
+#include "common/rng.h"
 #include "common/time.h"
 #include "core/cis.h"
 #include "core/policies.h"
+#include "tests/common/reference_oracles.h"
 
 namespace gaia {
 namespace {
@@ -203,6 +205,40 @@ TEST(PlanCacheEquivalence, MemoizedPlansMatchDirect)
     }
     // The repeat arrivals in each slot actually exercised hits.
     EXPECT_GT(cache.hits(), 0u);
+}
+
+/** Memoized per-boundary integrals must be bitwise the reference
+ *  loop's values — first on the miss that fills the table, then on
+ *  every replayed hit. */
+TEST(PlanCacheEquivalence, StartIntegralsMatchReferenceBitwise)
+{
+    Rng rng(314);
+    for (int t = 0; t < 10; ++t) {
+        const CarbonTrace trace = randomTrace(rng, 72);
+        PlanCache cache;
+        const Seconds window = hours(rng.uniformInt(1, 6));
+        const Seconds first =
+            hours(rng.uniformInt(0, 24));
+        const std::int64_t count = rng.uniformInt(1, 12);
+        const PlanCache::BoundaryKey key{first, count, window};
+        const auto slot_value = [&](Seconds b) {
+            return trace.integrate(b, b + window);
+        };
+        for (int pass = 0; pass < 2; ++pass) {
+            const std::vector<double> &integrals =
+                cache.startIntegrals(key, slot_value);
+            ASSERT_EQ(integrals.size(),
+                      static_cast<std::size_t>(count));
+            for (std::int64_t i = 0; i < count; ++i) {
+                const Seconds b = first + i * kSecondsPerHour;
+                ASSERT_EQ(integrals[static_cast<std::size_t>(i)],
+                          refIntegrate(trace, b, b + window))
+                    << "trace " << t << " boundary " << b
+                    << " pass " << pass;
+            }
+        }
+        EXPECT_GT(cache.hits(), 0u);
+    }
 }
 
 } // namespace

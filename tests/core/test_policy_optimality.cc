@@ -12,63 +12,14 @@
 #include "common/rng.h"
 #include "core/cis.h"
 #include "core/policies.h"
+#include "tests/common/reference_oracles.h"
 
 namespace gaia {
 namespace {
-
-/** Random short carbon trace for brute-force comparisons. */
-CarbonTrace
-randomTrace(std::uint64_t seed, std::size_t slots = 48)
-{
-    Rng rng(seed);
-    std::vector<double> values;
-    values.reserve(slots);
-    for (std::size_t i = 0; i < slots; ++i)
-        values.push_back(rng.uniform(10.0, 800.0));
-    return CarbonTrace("rand", std::move(values));
-}
-
-/**
- * Brute-force reference for Wait-Awhile: minimize total carbon of
- * J seconds of execution within [t, t+J+W] by greedily buying the
- * cheapest seconds — since the cost of each second is independent,
- * the continuous relaxation's optimum equals picking the cheapest
- * per-second prices, evaluated here by scanning hour slices.
- */
-double
-cheapestExecutionCost(const CarbonTrace &trace, Seconds now,
-                      Seconds length, Seconds wait)
-{
-    const Seconds deadline = now + length + wait;
-    struct Slice
-    {
-        double price;
-        Seconds available;
-    };
-    std::vector<Slice> slices;
-    for (SlotIndex s = slotOf(now); slotStart(s) < deadline; ++s) {
-        const Seconds from = std::max(now, slotStart(s));
-        const Seconds to =
-            std::min(deadline, slotStart(s) + kSecondsPerHour);
-        if (to > from)
-            slices.push_back({trace.atSlot(s), to - from});
-    }
-    std::sort(slices.begin(), slices.end(),
-              [](const Slice &a, const Slice &b) {
-                  return a.price < b.price;
-              });
-    double cost = 0.0;
-    Seconds remaining = length;
-    for (const Slice &slice : slices) {
-        if (remaining <= 0)
-            break;
-        const Seconds take = std::min(remaining, slice.available);
-        cost += slice.price * static_cast<double>(take);
-        remaining -= take;
-    }
-    EXPECT_EQ(remaining, 0);
-    return cost;
-}
+// randomTrace(seed, slots) and cheapestExecutionCost() live in
+// tests/common/reference_oracles.h, shared with the elastic oracle
+// suite (whose degenerate fixed-width case must match Wait-Awhile
+// against the same reference).
 
 class WaitAwhileOptimality : public ::testing::TestWithParam<int>
 {

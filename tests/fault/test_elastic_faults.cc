@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Fault injection composed with elastic (multi-instance) jobs: a
+ * storm revoking a width-w gang retries all w instances, the
+ * degraded ladder bills instance-hours (not wall-hours), and the
+ * elastic path keeps the determinism contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/obs.h"
+#include "core/policy_factory.h"
+#include "fault/faulty_source.h"
+#include "fault/injector.h"
+#include "sim/results.h"
+#include "sim/simulator.h"
+#include "workload/elastic_profile.h"
+
+namespace gaia {
+namespace {
+
+QueueConfig
+oneQueue(Seconds max_wait)
+{
+    return QueueConfig(
+        {{"only", 3 * kSecondsPerDay, max_wait, kSecondsPerHour}});
+}
+
+CarbonTrace
+flatTrace(double value = 100.0)
+{
+    return CarbonTrace("flat",
+                       std::vector<double>(24 * 40, value));
+}
+
+CarbonTrace
+fallingTrace()
+{
+    std::vector<double> values(24 * 40);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = 1000.0 - static_cast<double>(i);
+    return CarbonTrace("falling", std::move(values));
+}
+
+ElasticProfile
+profileOf(const std::string &spec)
+{
+    Result<ElasticProfile> parsed = parseElasticProfile(spec);
+    EXPECT_TRUE(parsed.isOk()) << parsed.status().message();
+    return std::move(parsed).value();
+}
+
+SimulationResult
+run(const JobTrace &trace, const std::string &policy,
+    const QueueConfig &queues, const CarbonInfoSource &cis,
+    const FaultInjector *faults, const ElasticProfile *elastic,
+    ClusterConfig cluster = {},
+    ResourceStrategy strategy = ResourceStrategy::OnDemandOnly)
+{
+    const PolicyPtr p = makePolicy(policy);
+    SimulationSetup setup;
+    setup.trace = &trace;
+    setup.policy = p.get();
+    setup.queues = &queues;
+    setup.cis = &cis;
+    setup.cluster = cluster;
+    setup.strategy = strategy;
+    setup.faults = faults;
+    setup.elastic = elastic;
+    Result<SimulationResult> result = simulateChecked(setup);
+    EXPECT_TRUE(result.isOk()) << result.status().message();
+    return std::move(result).value();
+}
+
+TEST(ElasticFaults, StormGangRetriesCountEveryInstance)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(6));
+    // Three hours of work at marginal rate 1.0 per instance: the
+    // flat trace makes Carbon-Scaler run one slot at full width 3.
+    const ElasticProfile profile = profileOf("linear:max=3");
+    const JobTrace trace("t", {{1, 0, hours(3), 1}});
+    ClusterConfig cluster;
+    cluster.spot_eviction_rate = 0.0; // storms only
+    cluster.spot_max_length = hours(24);
+
+    FaultSpec spec;
+    spec.storm_rate = 1.0;
+    spec.storm_spot_retries = 2;
+    const FaultInjector injector(spec);
+    const Seconds strike = injector.firstStormIn(0, hours(1));
+    ASSERT_GE(strike, 0);
+
+    const std::uint64_t retries_before =
+        obs::counter("fault.spot_instance_retries").value();
+    const SimulationResult r =
+        run(trace, "Carbon-Scaler", queues, cis, &injector,
+            &profile, cluster, ResourceStrategy::SpotFirst);
+    const JobOutcome &o = r.outcomes[0];
+    // Initial width-3 slice revoked at the strike, both spot
+    // re-attempts revoked at their start (the storm covers it),
+    // then the on-demand gang restart finishes in one hour.
+    EXPECT_EQ(o.evictions, 3u);
+    EXPECT_EQ(o.finish, strike + hours(1));
+    ASSERT_FALSE(o.segments.empty());
+    EXPECT_EQ(o.segments.back().width, 3);
+    EXPECT_FALSE(o.segments.back().lost);
+    // Each gang retry re-acquires spot capacity per instance: two
+    // retries at width 3 count six instance-level retries.
+    EXPECT_EQ(
+        obs::counter("fault.spot_instance_retries").value() -
+            retries_before,
+        6u);
+}
+
+TEST(ElasticFaults, DegradedElasticPlansBillInstanceHours)
+{
+    const CarbonTrace carbon = fallingTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(6));
+    const ElasticProfile profile = profileOf("linear:max=4");
+    const JobTrace trace("t", {{1, 0, hours(4), 1}});
+
+    FaultSpec spec;
+    spec.outage_rate = 1.0;
+    spec.cis_max_retries = 0;
+    const FaultInjector injector(spec);
+    const FaultyCarbonSource faulty(cis, injector);
+
+    const std::uint64_t slots_before =
+        obs::counter("policy.degraded_slots").value();
+    const std::uint64_t hours_before =
+        obs::counter("policy.degraded_instance_hours").value();
+    const SimulationResult r =
+        run(trace, "Carbon-Scaler", queues, faulty, &injector,
+            &profile);
+    const JobOutcome &o = r.outcomes[0];
+    // Source down for the whole run: the elastic ladder bottoms
+    // out at the elastic NoWait analogue — start now at full
+    // width, so four hours of work finish in one wall hour (and
+    // waiting() reports the speedup as negative, as documented).
+    EXPECT_EQ(o.start, 0);
+    EXPECT_EQ(o.finish, hours(1));
+    EXPECT_EQ(o.waiting(), hours(1) - hours(4));
+    ASSERT_EQ(o.segments.size(), 1u);
+    EXPECT_EQ(o.segments[0].width, 4);
+    EXPECT_EQ(
+        obs::counter("policy.degraded_slots").value() -
+            slots_before,
+        1u);
+    // One wall-hour at width 4 bills four degraded instance-hours.
+    EXPECT_EQ(
+        obs::counter("policy.degraded_instance_hours").value() -
+            hours_before,
+        4u);
+}
+
+TEST(ElasticFaults, DisabledInjectorMatchesNoInjector)
+{
+    const CarbonTrace carbon = fallingTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(6));
+    const ElasticProfile profile =
+        profileOf("diminishing:max=3,alpha=0.6");
+    const JobTrace trace("t", {{1, 0, hours(2), 1},
+                               {2, hours(1), hours(3), 2},
+                               {3, hours(4), minutes(30), 1}});
+    ClusterConfig cluster;
+    cluster.spot_eviction_rate = 0.1;
+    cluster.spot_max_length = hours(24);
+
+    const SimulationResult plain =
+        run(trace, "Carbon-Scaler", queues, cis, nullptr, &profile,
+            cluster, ResourceStrategy::SpotFirst);
+    const FaultInjector disabled{FaultSpec{}};
+    const SimulationResult wired =
+        run(trace, "Carbon-Scaler", queues, cis, &disabled,
+            &profile, cluster, ResourceStrategy::SpotFirst);
+    EXPECT_EQ(resultFingerprint(plain), resultFingerprint(wired));
+}
+
+TEST(ElasticFaults, SameSpecSameSeedIsBitIdentical)
+{
+    const CarbonTrace carbon = fallingTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(6));
+    const ElasticProfile profile = profileOf("linear:max=3");
+    std::vector<Job> jobs;
+    for (int i = 0; i < 20; ++i)
+        jobs.push_back({i + 1, hours(i), hours(2), i % 3 + 1});
+    const JobTrace trace("t", jobs);
+    ClusterConfig cluster;
+    cluster.spot_max_length = hours(24);
+
+    FaultSpec spec;
+    spec.outage_rate = 0.3;
+    spec.storm_rate = 0.5;
+    spec.straggler_rate = 0.5;
+
+    const auto fingerprintFor = [&](const FaultSpec &s) {
+        const FaultInjector injector(s);
+        const FaultyCarbonSource faulty(cis, injector);
+        return resultFingerprint(run(
+            trace, "Carbon-Scaler", queues, faulty, &injector,
+            &profile, cluster, ResourceStrategy::SpotFirst));
+    };
+    const std::uint64_t first = fingerprintFor(spec);
+    EXPECT_EQ(fingerprintFor(spec), first);
+
+    FaultSpec reseeded = spec;
+    reseeded.seed = 2;
+    EXPECT_NE(fingerprintFor(reseeded), first);
+}
+
+} // namespace
+} // namespace gaia

@@ -22,8 +22,11 @@
 
 #include "analysis/metrics.h"
 #include "analysis/sweep.h"
+#include "common/executor.h"
 #include "common/obs.h"
 #include "common/strings.h"
+#include "core/plan_cache.h"
+#include "sim/results.h"
 
 namespace gaia {
 namespace {
@@ -271,6 +274,167 @@ buildFig19Csv()
 TEST(GoldenOutputs, Fig19HybridSweep)
 {
     checkGolden("fig19_small.csv", buildFig19Csv());
+}
+
+/**
+ * ext_elastic_scaling at golden scale: the elastic profile family
+ * across fixed-width and elastic policies, week-long trace — same
+ * formatting as the bench's CSV mirror, fingerprint column
+ * included so any sub-printing-precision drift fails the pin.
+ */
+std::string
+buildExtElasticCsv()
+{
+    ScenarioSpec base;
+    base.workload = WorkloadSpec::week(1);
+    base.carbon = CarbonSpec::forRegion(Region::SouthAustralia,
+                                        24 * 13, 1);
+
+    const std::vector<std::string> profiles = {
+        "off", "linear:max=4", "diminishing:max=4,alpha=0.6"};
+    const std::vector<std::string> policies = {
+        "NoWait", "Wait-Awhile", "Elastic-NoWait",
+        "Carbon-Scaler"};
+
+    SweepEngine sweep;
+    std::vector<std::size_t> cells;
+    for (const std::string &profile : profiles) {
+        for (const std::string &policy : policies) {
+            ScenarioSpec spec = base;
+            spec.policy = policy;
+            spec.elastic_profile = profile;
+            spec.label = policy + " profile=" + profile;
+            cells.push_back(sweep.add(std::move(spec)));
+        }
+    }
+    sweep.run();
+    const SimulationResult &nowait = cellValue(sweep, cells[0]);
+
+    std::string csv = line({"profile", "policy", "carbon_kg",
+                            "norm_carbon", "mean_wait_h",
+                            "mean_completion_h", "cost",
+                            "fingerprint"});
+    std::size_t k = 0;
+    for (const std::string &profile : profiles) {
+        for (const std::string &policy : policies) {
+            const SimulationResult &r =
+                cellValue(sweep, cells[k++]);
+            csv += line({profile, policy, fmt(r.carbon_kg, 6),
+                         fmt(r.carbon_kg / nowait.carbon_kg, 4),
+                         fmt(r.meanWaitingHours(), 4),
+                         fmt(r.meanCompletionHours(), 4),
+                         fmt(r.totalCost(), 4),
+                         std::to_string(resultFingerprint(r))});
+        }
+    }
+    return csv;
+}
+
+TEST(GoldenOutputs, ExtElasticScaling)
+{
+    checkGolden("ext_elastic_small.csv", buildExtElasticCsv());
+}
+
+/**
+ * ext_provisioning_mix at golden scale: Carbon-Scaler over the
+ * strategy x reserved grid on a small Azure-VM trace — exercises
+ * elastic width through the reserved pool, spot admission,
+ * eviction restarts at gang width, and the seeded RNG.
+ */
+std::string
+buildExtProvisioningCsv()
+{
+    TraceBuildOptions options;
+    options.job_count = 600;
+    options.span = kSecondsPerWeek;
+    options.seed = 1;
+
+    ScenarioSpec base;
+    base.workload =
+        WorkloadSpec::builtin(WorkloadSource::AzureVm, options);
+    base.carbon = CarbonSpec::forRegion(Region::SouthAustralia,
+                                        24 * 13, 1);
+    base.policy = "Carbon-Scaler";
+    base.elastic_profile = "diminishing:max=4,alpha=0.6";
+
+    struct StrategyAxis
+    {
+        ResourceStrategy strategy;
+        std::string name;
+    };
+    const std::vector<StrategyAxis> strategies = {
+        {ResourceStrategy::ReservedFirst, "RES-First"},
+        {ResourceStrategy::SpotFirst, "Spot-First"},
+        {ResourceStrategy::SpotReserved, "Spot-RES"},
+    };
+    const std::vector<int> reserved = {0, 4, 8};
+
+    SweepEngine sweep;
+    ScenarioSpec nowait_spec = base;
+    nowait_spec.policy = "NoWait";
+    nowait_spec.elastic_profile = "off";
+    const std::size_t nowait_cell = sweep.add(nowait_spec);
+
+    std::vector<std::size_t> cells;
+    for (const StrategyAxis &axis : strategies) {
+        for (int cores : reserved) {
+            ScenarioSpec spec = base;
+            spec.strategy = axis.strategy;
+            spec.cluster.reserved_cores = cores;
+            spec.cluster.spot_eviction_rate = 0.05;
+            spec.cluster.spot_max_length = hours(2);
+            spec.label =
+                axis.name + " R=" + std::to_string(cores);
+            cells.push_back(sweep.add(std::move(spec)));
+        }
+    }
+    sweep.run();
+    const SimulationResult &baseline =
+        cellValue(sweep, nowait_cell);
+
+    std::string csv = line({"strategy", "reserved", "norm_cost",
+                            "norm_carbon", "mean_wait_h",
+                            "evictions", "fingerprint"});
+    std::size_t k = 0;
+    for (const StrategyAxis &axis : strategies) {
+        for (int cores : reserved) {
+            const SimulationResult &r =
+                cellValue(sweep, cells[k++]);
+            csv += line(
+                {axis.name, std::to_string(cores),
+                 fmt(r.totalCost() / baseline.totalCost(), 4),
+                 fmt(r.carbon_kg / baseline.carbon_kg, 4),
+                 fmt(r.meanWaitingHours(), 4),
+                 std::to_string(r.eviction_count),
+                 std::to_string(resultFingerprint(r))});
+        }
+    }
+    return csv;
+}
+
+TEST(GoldenOutputs, ExtProvisioningMix)
+{
+    checkGolden("ext_provisioning_small.csv",
+                buildExtProvisioningCsv());
+}
+
+/**
+ * The elastic goldens embed result fingerprints, so this pins
+ * bitwise determinism end to end: one worker thread and disabled
+ * plan memoization must reproduce the parallel, memoized bytes —
+ * schedules (and their fingerprints) may depend on neither.
+ */
+TEST(GoldenOutputs, ElasticCsvsStableAcrossThreadsAndMemo)
+{
+    setParallelThreads(1);
+    setPlanMemoization(false);
+    const std::string elastic = buildExtElasticCsv();
+    const std::string provisioning = buildExtProvisioningCsv();
+    setPlanMemoization(true);
+    setParallelThreads(0); // back to the default resolution
+
+    checkGolden("ext_elastic_small.csv", elastic);
+    checkGolden("ext_provisioning_small.csv", provisioning);
 }
 
 /**
