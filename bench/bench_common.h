@@ -43,18 +43,21 @@ runChecked(const JobTrace &trace, const SchedulingPolicy &policy,
            ResourceStrategy strategy = ResourceStrategy::OnDemandOnly,
            const FaultInjector *faults = nullptr)
 {
-    SimulationSetup setup;
-    setup.trace = &trace;
-    setup.policy = &policy;
-    setup.queues = &queues;
-    setup.cis = &cis;
-    setup.cluster = cluster;
-    setup.strategy = strategy;
-    setup.faults = faults;
-    Result<SimulationResult> result = simulateChecked(setup);
-    if (!result.isOk())
+    const Result<SimulationSetup> setup = SimulationSetup::Builder()
+                                              .trace(trace)
+                                              .policy(policy)
+                                              .queues(queues)
+                                              .cis(cis)
+                                              .cluster(cluster)
+                                              .strategy(strategy)
+                                              .faults(faults)
+                                              .build();
+    if (!setup.isOk())
         fatal("simulation setup rejected: ",
-              result.status().message());
+              setup.status().message());
+    Result<SimulationResult> result = simulateChecked(*setup);
+    if (!result.isOk())
+        fatal("simulation failed: ", result.status().message());
     return std::move(result).value();
 }
 

@@ -116,14 +116,19 @@ main()
     for (const SchedulingPolicy *policy :
          std::initializer_list<const SchedulingPolicy *>{
              &no_wait, &carbon_time, &price_aware}) {
-        SimulationSetup setup;
-        setup.trace = &trace;
-        setup.policy = policy;
-        setup.queues = &queues;
-        setup.cis = &cis;
-        Result<SimulationResult> checked = simulateChecked(setup);
-        if (!checked.isOk())
+        const Result<SimulationSetup> setup =
+            SimulationSetup::Builder()
+                .trace(trace)
+                .policy(*policy)
+                .queues(queues)
+                .cis(cis)
+                .build();
+        if (!setup.isOk())
             fatal("simulation setup rejected: ",
+                  setup.status().message());
+        Result<SimulationResult> checked = simulateChecked(*setup);
+        if (!checked.isOk())
+            fatal("simulation failed: ",
                   checked.status().message());
         const SimulationResult r = std::move(checked).value();
         table.addRow(policy->name(),

@@ -28,8 +28,10 @@ REPO = Path(__file__).resolve().parent.parent
 FLAG_PATTERN = re.compile(r"--[a-z][a-z0-9-]*")
 FLAG_SOURCES = [
     "src/cli/options.cc",
+    "src/cli/gaia_serve.cc",
     "bench/bench_common.h",
     "bench/micro_sim_throughput.cc",
+    "bench/micro_serve_ingest.cc",
 ]
 FLAG_DOC = "docs/CLI.md"
 

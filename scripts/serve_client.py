@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Stream a JobTrace CSV into a running gaia_serve daemon (stdlib only).
+
+Connects to the daemon's AF_UNIX control socket, submits every job
+from the CSV (columns: id, submit, length, cpus — the format
+``gaia_run --export-workload`` writes), prints the final ``stats``
+snapshot to stderr, drains, and prints the result fingerprint to
+stdout. Exit status 0 only when every submission was accepted and
+the drain succeeded, so CI can pipe the fingerprint straight into a
+comparison against ``gaia_run --print-fingerprint``.
+
+Usage:
+    serve_client.py SOCKET TRACE_CSV [--stats-every N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import socket
+import sys
+import time
+
+
+def connect(path: str, timeout_s: float = 10.0) -> socket.socket:
+    """Connect to the control socket, retrying while the daemon boots."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+            return sock
+        except OSError:
+            sock.close()
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("socket_path", help="gaia_serve control socket")
+    parser.add_argument("trace_csv", help="JobTrace CSV to stream")
+    parser.add_argument(
+        "--stats-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print a stats line to stderr every N submissions",
+    )
+    args = parser.parse_args()
+
+    sock = connect(args.socket_path)
+    stream = sock.makefile("rw", newline="\n")
+
+    def command(line: str) -> str:
+        stream.write(line + "\n")
+        stream.flush()
+        reply = stream.readline().strip()
+        if not reply:
+            raise SystemExit("serve_client: daemon closed the connection")
+        return reply
+
+    submitted = 0
+    rejected = 0
+    with open(args.trace_csv, newline="") as handle:
+        for row in csv.DictReader(handle):
+            reply = command(
+                "submit {id} {submit} {length} {cpus}".format(**row)
+            )
+            submitted += 1
+            if reply != "ok":
+                rejected += 1
+                print(
+                    f"serve_client: job {row['id']}: {reply}",
+                    file=sys.stderr,
+                )
+            if args.stats_every and submitted % args.stats_every == 0:
+                print(command("stats"), file=sys.stderr)
+
+    print(command("stats"), file=sys.stderr)
+    reply = command("drain")
+    if not reply.startswith("drained "):
+        print(f"serve_client: drain failed: {reply}", file=sys.stderr)
+        return 1
+
+    print(reply.split(" ", 1)[1])
+    if rejected:
+        print(
+            f"serve_client: {rejected}/{submitted} submissions rejected",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,21 @@ runPolicy(const std::string &policy_name, const JobTrace &trace,
           const ClusterConfig &cluster, ResourceStrategy strategy)
 {
     const PolicyPtr policy = makePolicy(policy_name);
-    return simulate(trace, *policy, queues, cis, cluster, strategy);
+    const Result<SimulationSetup> setup =
+        SimulationSetup::Builder()
+            .trace(trace)
+            .policy(*policy)
+            .queues(queues)
+            .cis(cis)
+            .cluster(cluster)
+            .strategy(strategy)
+            .build();
+    GAIA_ASSERT(setup.isOk(), "harness setup is invalid: ",
+                setup.status().message());
+    Result<SimulationResult> result = simulateChecked(*setup);
+    GAIA_ASSERT(result.isOk(), "harness simulation failed: ",
+                result.status().message());
+    return std::move(result).value();
 }
 
 std::vector<double>

@@ -286,8 +286,43 @@ AssetCache::misses() const
     return misses_;
 }
 
-Result<SimulationResult>
-runScenario(const ScenarioSpec &spec, AssetCache &cache)
+RealizedScenario::RealizedScenario() = default;
+RealizedScenario::RealizedScenario(RealizedScenario &&) noexcept =
+    default;
+RealizedScenario &
+RealizedScenario::operator=(RealizedScenario &&) noexcept = default;
+RealizedScenario::~RealizedScenario() = default;
+
+const CarbonInfoSource &
+RealizedScenario::carbonSource() const
+{
+    GAIA_ASSERT(cis != nullptr, "scenario was never realized");
+    if (faulty_cis != nullptr)
+        return *faulty_cis;
+    return *cis;
+}
+
+Result<SimulationSetup>
+RealizedScenario::setup() const
+{
+    GAIA_ASSERT(trace != nullptr && policy != nullptr &&
+                    queues != nullptr && cis != nullptr,
+                "scenario was never realized");
+    SimulationSetup::Builder builder;
+    builder.trace(*trace)
+        .policy(*policy)
+        .queues(*queues)
+        .cis(carbonSource())
+        .cluster(cluster)
+        .strategy(strategy)
+        .faults(injector.get());
+    if (elastic.enabled())
+        builder.elastic(&elastic);
+    return builder.build();
+}
+
+Result<RealizedScenario>
+realizeScenario(const ScenarioSpec &spec, AssetCache &cache)
 {
     GAIA_TRY(validateClusterSetup(spec.cluster, spec.strategy));
     GAIA_REQUIRE(spec.short_wait >= 0 && spec.long_wait >= 0,
@@ -298,69 +333,69 @@ runScenario(const ScenarioSpec &spec, AssetCache &cache)
     GAIA_REQUIRE(spec.cis.noise >= 0.0, "negative forecast noise ",
                  spec.cis.noise);
     GAIA_TRY(spec.fault.validate());
-    GAIA_TRY_ASSIGN(const ElasticProfile elastic,
+
+    RealizedScenario out;
+    out.cluster = spec.cluster;
+    out.strategy = spec.strategy;
+    GAIA_TRY_ASSIGN(out.elastic,
                     parseElasticProfile(spec.elastic_profile));
 
-    GAIA_TRY_ASSIGN(const std::shared_ptr<const JobTrace> trace,
-                    cache.trace(spec.workload));
-    if (trace->empty())
+    GAIA_TRY_ASSIGN(out.trace, cache.trace(spec.workload));
+    if (out.trace->empty())
         return Status::failedPrecondition("workload trace is empty");
 
     const std::size_t slots =
         spec.carbon.slots > 0
             ? spec.carbon.slots
-            : carbonSlotsFor(*trace, spec.long_wait);
-    GAIA_TRY_ASSIGN(const std::shared_ptr<const CarbonTrace> carbon,
-                    cache.carbon(spec.carbon, slots));
-    GAIA_TRY_ASSIGN(const std::shared_ptr<const QueueConfig> queues,
+            : carbonSlotsFor(*out.trace, spec.long_wait);
+    GAIA_TRY_ASSIGN(out.carbon, cache.carbon(spec.carbon, slots));
+    GAIA_TRY_ASSIGN(out.queues,
                     cache.queues(spec.workload, spec.short_wait,
                                  spec.long_wait));
-    GAIA_TRY_ASSIGN(const PolicyPtr policy,
-                    tryMakePolicy(spec.policy));
+    GAIA_TRY_ASSIGN(out.policy, tryMakePolicy(spec.policy));
 
-    std::unique_ptr<CarbonForecaster> forecaster;
     if (spec.cis.forecaster == "persistence") {
-        forecaster = std::make_unique<PersistenceForecaster>();
+        out.forecaster = std::make_unique<PersistenceForecaster>();
     } else if (spec.cis.forecaster == "profile") {
-        forecaster = std::make_unique<DiurnalProfileForecaster>();
+        out.forecaster =
+            std::make_unique<DiurnalProfileForecaster>();
     } else {
         GAIA_REQUIRE(spec.cis.forecaster == "oracle",
                      "unknown forecaster '", spec.cis.forecaster,
                      "'; expected oracle, persistence, or profile");
     }
-    const CarbonInfoService cis =
-        forecaster
-            ? CarbonInfoService(*carbon, *forecaster)
-            : CarbonInfoService(*carbon, spec.cis.noise,
-                                spec.cis.seed);
+    out.cis = out.forecaster
+                  ? std::make_unique<CarbonInfoService>(
+                        *out.carbon, *out.forecaster)
+                  : std::make_unique<CarbonInfoService>(
+                        *out.carbon, spec.cis.noise, spec.cis.seed);
 
     // Fault wiring: the injector exists whenever any fault is
     // configured; the source decorator only when a carbon-source
-    // fault is. Both are stack-local — faults are per-cell state,
-    // never cached.
-    std::unique_ptr<FaultInjector> injector;
-    std::unique_ptr<FaultyCarbonSource> faulty;
+    // fault is. Both are per-cell state, never cached.
     if (spec.fault.enabled())
-        injector = std::make_unique<FaultInjector>(spec.fault);
-    if (injector != nullptr && injector->cisFaults())
-        faulty = std::make_unique<FaultyCarbonSource>(cis, *injector);
+        out.injector = std::make_unique<FaultInjector>(spec.fault);
+    if (out.injector != nullptr && out.injector->cisFaults()) {
+        out.faulty_cis = std::make_unique<FaultyCarbonSource>(
+            *out.cis, *out.injector);
+    }
+    return out;
+}
 
-    SimulationSetup setup;
-    setup.trace = trace.get();
-    setup.policy = policy.get();
-    setup.queues = queues.get();
-    setup.cis = faulty != nullptr
-                    ? static_cast<const CarbonInfoSource *>(
-                          faulty.get())
-                    : &cis;
-    setup.cluster = spec.cluster;
-    setup.strategy = spec.strategy;
-    setup.faults = injector.get();
-    // Stack-local like the fault wiring: profiles are per-cell
-    // state applied at submit, never onto the shared cached trace.
-    if (elastic.enabled())
-        setup.elastic = &elastic;
+Result<SimulationResult>
+runScenario(const ScenarioSpec &spec, AssetCache &cache)
+{
+    GAIA_TRY_ASSIGN(const RealizedScenario realized,
+                    realizeScenario(spec, cache));
+    GAIA_TRY_ASSIGN(const SimulationSetup setup, realized.setup());
     return simulateChecked(setup);
+}
+
+Result<SimulationResult>
+runScenario(const ScenarioSpec &spec)
+{
+    AssetCache cache;
+    return runScenario(spec, cache);
 }
 
 } // namespace gaia

@@ -28,16 +28,23 @@
 
 #include "common/status.h"
 #include "common/time.h"
+#include "core/policy.h"
 #include "core/queues.h"
 #include "fault/fault_spec.h"
 #include "sim/cluster.h"
 #include "sim/results.h"
+#include "sim/simulator.h"
 #include "trace/carbon_trace.h"
 #include "trace/region_model.h"
 #include "workload/generators.h"
 #include "workload/job.h"
 
 namespace gaia {
+
+class CarbonForecaster;
+class CarbonInfoService;
+class FaultInjector;
+class FaultyCarbonSource;
 
 /** Declarative workload description (what trace to build/load). */
 struct WorkloadSpec
@@ -239,12 +246,70 @@ class AssetCache
 };
 
 /**
- * Run one scenario end to end: validate the setup, realize the
- * assets through `cache`, build the policy and CIS, and simulate.
- * All input problems surface as an error Status, never as an exit.
+ * One scenario's realized, owning asset bundle: the cached shared
+ * assets (trace, carbon, queues), the per-cell collaborators
+ * (policy, forecaster, CIS, fault wiring, elastic profile), and the
+ * resolved cluster/strategy pair. Produced by realizeScenario();
+ * consumed either as a batch SimulationSetup via setup() or held
+ * alive by the serving daemon, whose scheduler outlives any single
+ * call. Movable; the bundle keeps every internal reference stable
+ * because each referenced collaborator lives behind its own
+ * allocation.
+ */
+struct RealizedScenario
+{
+    RealizedScenario();
+    RealizedScenario(RealizedScenario &&) noexcept;
+    RealizedScenario &operator=(RealizedScenario &&) noexcept;
+    ~RealizedScenario();
+
+    std::shared_ptr<const JobTrace> trace;
+    std::shared_ptr<const CarbonTrace> carbon;
+    std::shared_ptr<const QueueConfig> queues;
+    PolicyPtr policy;
+    /** nullptr when the spec asked for the oracle forecaster. */
+    std::unique_ptr<CarbonForecaster> forecaster;
+    std::unique_ptr<CarbonInfoService> cis;
+    /** Fault wiring; both nullptr when the cell is fault-free. */
+    std::unique_ptr<FaultInjector> injector;
+    std::unique_ptr<FaultyCarbonSource> faulty_cis;
+    /** Scenario-wide elastic profile; disabled = fixed-width. */
+    ElasticProfile elastic;
+    ClusterConfig cluster;
+    ResourceStrategy strategy = ResourceStrategy::OnDemandOnly;
+
+    /** The carbon source a scheduler should consult: the faulty
+     *  decorator when one is wired, the plain service otherwise. */
+    const CarbonInfoSource &carbonSource() const;
+
+    /** Batch view of the bundle, validated through the Builder.
+     *  References the bundle's members — the bundle must outlive
+     *  any use of the returned setup. */
+    Result<SimulationSetup> setup() const;
+};
+
+/**
+ * Validate `spec` and realize every asset it names through `cache`:
+ * the shared trace/carbon/queue assets plus the per-cell policy,
+ * forecaster, CIS, and fault wiring. All input problems surface as
+ * an error Status, never as an exit. This is the single asset-
+ * wiring path behind runScenario() and the serving daemon — extend
+ * it, not its callers, when scenarios grow a knob.
+ */
+Result<RealizedScenario> realizeScenario(const ScenarioSpec &spec,
+                                         AssetCache &cache);
+
+/**
+ * Run one scenario end to end: realizeScenario() + the checked
+ * batch simulator. Every "run a scenario" surface (SweepEngine
+ * cells, gaia_run, scenario-driven benches) funnels through here.
  */
 Result<SimulationResult> runScenario(const ScenarioSpec &spec,
                                      AssetCache &cache);
+
+/** Convenience overload with a private single-use cache, for
+ *  one-off callers with no sweep to share assets with. */
+Result<SimulationResult> runScenario(const ScenarioSpec &spec);
 
 } // namespace gaia
 

@@ -16,6 +16,7 @@
  *   gaia_run --policy Carbon-Time --strategy res-first --reserved 18
  */
 
+#include <cstdio>
 #include <iostream>
 #include <vector>
 
@@ -77,6 +78,19 @@ main(int argc, char **argv)
     if (!options.trace_out.empty())
         obs::setTracingEnabled(true);
 
+    if (!options.export_workload.empty()) {
+        // Export the exact stream a serve client would replay: the
+        // realized (synthesized/loaded/resampled) trace, not the
+        // spec that describes it.
+        Result<ScenarioSpec> spec = scenarioFromOptions(options);
+        if (!spec.isOk())
+            return reportError(spec.status());
+        Result<JobTrace> trace = spec->workload.realize();
+        if (!trace.isOk())
+            return reportError(trace.status());
+        trace->toCsv(options.export_workload);
+    }
+
     RunArtifacts artifacts;
     Result<SimulationResult> run =
         runFromOptions(options, &artifacts);
@@ -123,6 +137,14 @@ main(int argc, char **argv)
     summary.addRow({"spot evictions",
                     std::to_string(result.eviction_count)});
     summary.print(std::cout);
+
+    if (options.print_fingerprint) {
+        char hex[17];
+        std::snprintf(hex, sizeof hex, "%016llx",
+                      static_cast<unsigned long long>(
+                          resultFingerprint(result)));
+        std::cout << "fingerprint " << hex << "\n";
+    }
 
     if (options.verbose) {
         std::cout << "\n";

@@ -129,6 +129,14 @@ cliUsage()
            "trace_event JSON after the run\n"
            "  --verbose             print the metrics summary "
            "table after the run\n"
+           "  --export-workload PATH  also write the realized job "
+           "trace as CSV\n"
+           "                        (the stream a gaia_serve client "
+           "replays)\n"
+           "  --print-fingerprint   print 'fingerprint <hex>' after "
+           "the run (parity\n"
+           "                        oracle against a drained "
+           "gaia_serve daemon)\n"
            "  --list-policies       print policy names and exit\n"
            "  -h, --help            this text\n"
            "\nAll flags also accept the --flag=value spelling.\n";
@@ -317,6 +325,11 @@ parseCliOptions(const std::vector<std::string> &raw_args,
                             need_value(i++, arg));
         } else if (arg == "--verbose") {
             options.verbose = true;
+        } else if (arg == "--export-workload") {
+            GAIA_TRY_ASSIGN(options.export_workload,
+                            need_value(i++, arg));
+        } else if (arg == "--print-fingerprint") {
+            options.print_fingerprint = true;
         } else {
             return Status::invalidArgument("unknown argument '", arg,
                                            "'\n\n", cliUsage());

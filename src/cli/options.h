@@ -110,6 +110,13 @@ struct CliOptions
     /** Print the metrics summary table after the run. */
     bool verbose = false;
 
+    /** Also write the realized workload trace as a JobTrace CSV
+     *  ("" = disabled) — the stream a serve client replays. */
+    std::string export_workload;
+    /** Print `fingerprint <hex>` after the run (the parity oracle
+     *  against a drained gaia_serve daemon). */
+    bool print_fingerprint = false;
+
     /** Resolved strategy enum; NotFound on an unknown name. */
     Result<ResourceStrategy> resolvedStrategy() const;
 };

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Bounded lock-free multi-producer queue for streaming submissions.
+ *
+ * The serving layer (src/serve) accepts job submissions from many
+ * connection/producer threads and feeds them to one driver thread
+ * that owns the scheduler. This queue is that hand-off: a bounded
+ * ring of sequenced cells (Vyukov-style), where producers claim
+ * slots with one CAS and the consumer pops in slot order. A full
+ * ring rejects the push instead of blocking, which is exactly the
+ * admission-control behaviour the daemon wants — backpressure is a
+ * visible `false` (surfaced as a ResourceExhausted Status one layer
+ * up), never an unbounded queue.
+ *
+ * Ordering guarantees:
+ *  - Pops observe pushes in slot-claim order (global FIFO over the
+ *    linearization of the claiming CASes).
+ *  - Each producer's own pushes are popped in that producer's
+ *    program order (its claims are sequential), which is what keeps
+ *    a per-connection job stream sorted end to end.
+ *
+ * Thread-safety: tryPush() may be called from any number of
+ * threads. tryPop() is written for one consumer at a time (the
+ * cell protocol itself is MPMC-safe, but the serving layer never
+ * needs concurrent consumers). sizeApprox() is racy by design —
+ * monitoring only. T must be movable; cells are default-constructed
+ * up front, so T needs a default constructor.
+ */
+
+#ifndef GAIA_COMMON_MPSC_QUEUE_H
+#define GAIA_COMMON_MPSC_QUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gaia {
+
+/** Bounded lock-free MPSC ring; see the file comment. */
+template <typename T>
+class MpscQueue
+{
+  public:
+    /**
+     * `capacity` is rounded up to the next power of two (minimum
+     * 2) so the slot index is a mask, not a modulo.
+     */
+    explicit MpscQueue(std::size_t capacity)
+    {
+        std::size_t size = 2;
+        while (size < capacity)
+            size <<= 1;
+        capacity_ = size;
+        mask_ = size - 1;
+        cells_ = std::make_unique<Cell[]>(size);
+        for (std::size_t i = 0; i < size; ++i)
+            cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    MpscQueue(const MpscQueue &) = delete;
+    MpscQueue &operator=(const MpscQueue &) = delete;
+
+    /**
+     * Enqueue `value`; false when the ring is full (the value is
+     * left untouched so the caller can report or retry).
+     */
+    bool tryPush(T &value)
+    {
+        std::size_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            const std::size_t seq =
+                cell.seq.load(std::memory_order_acquire);
+            const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                             static_cast<std::ptrdiff_t>(pos);
+            if (dif == 0) {
+                // The slot is free; claim it. Failure means another
+                // producer claimed `pos` — reload and retry.
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                {
+                    cell.value = std::move(value);
+                    cell.seq.store(pos + 1,
+                                   std::memory_order_release);
+                    return true;
+                }
+            } else if (dif < 0) {
+                // The slot still holds an unconsumed value from one
+                // lap ago: the ring is full.
+                return false;
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** rvalue convenience overload of tryPush(). */
+    bool tryPush(T &&value) { return tryPush(value); }
+
+    /** Dequeue into `out`; false when the ring is empty. */
+    bool tryPop(T &out)
+    {
+        std::size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            const std::size_t seq =
+                cell.seq.load(std::memory_order_acquire);
+            const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                             static_cast<std::ptrdiff_t>(pos + 1);
+            if (dif == 0) {
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                {
+                    out = std::move(cell.value);
+                    // Mark the slot free for the producers' next
+                    // lap.
+                    cell.seq.store(pos + capacity_,
+                                   std::memory_order_release);
+                    return true;
+                }
+            } else if (dif < 0) {
+                return false; // empty
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Rounded-up slot count. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Racy occupancy estimate for monitoring. */
+    std::size_t sizeApprox() const
+    {
+        const std::size_t tail =
+            tail_.load(std::memory_order_relaxed);
+        const std::size_t head =
+            head_.load(std::memory_order_relaxed);
+        return tail >= head ? tail - head : 0;
+    }
+
+  private:
+    struct Cell
+    {
+        std::atomic<std::size_t> seq{0};
+        T value{};
+    };
+
+    /** Producers' claim cursor and the consumer's cursor sit on
+     *  their own cache lines so claims never false-share pops. */
+    alignas(64) std::atomic<std::size_t> tail_{0};
+    alignas(64) std::atomic<std::size_t> head_{0};
+    std::unique_ptr<Cell[]> cells_;
+    std::size_t capacity_ = 0;
+    std::size_t mask_ = 0;
+};
+
+} // namespace gaia
+
+#endif // GAIA_COMMON_MPSC_QUEUE_H

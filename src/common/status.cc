@@ -16,6 +16,8 @@ errorCodeName(ErrorCode code)
         return "parse-error";
       case ErrorCode::FailedPrecondition:
         return "failed-precondition";
+      case ErrorCode::ResourceExhausted:
+        return "resource-exhausted";
     }
     panic("unknown error code");
 }

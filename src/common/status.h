@@ -58,6 +58,9 @@ enum class ErrorCode
     ParseError,
     /** Inputs are individually valid but mutually inconsistent. */
     FailedPrecondition,
+    /** A bounded resource (queue slot, admission budget) is spent;
+     *  retry later. The serving layer's backpressure signal. */
+    ResourceExhausted,
 };
 
 /** Short label for an error code, e.g. "invalid-argument". */
@@ -115,6 +118,14 @@ class Status
     failedPrecondition(Args &&...args)
     {
         return error(ErrorCode::FailedPrecondition,
+                     std::forward<Args>(args)...);
+    }
+
+    template <typename... Args>
+    static Status
+    resourceExhausted(Args &&...args)
+    {
+        return error(ErrorCode::ResourceExhausted,
                      std::forward<Args>(args)...);
     }
 

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * ServeDaemon — the policy engine as a streaming service.
+ *
+ * Promotes the scenario machinery from "replay a trace" to "accept
+ * a live stream": one daemon owns a realized scenario (assets,
+ * policy, CIS, fault wiring), an OnlineScheduler behind the
+ * ISchedulerProtocol surface, a bounded MPSC submission queue, and
+ * the consumer thread running the WallClockDriver. Producers call
+ * submit() from any thread; backpressure surfaces as a
+ * ResourceExhausted Status past the queue's high-water mark.
+ *
+ * Lifecycle: start() realizes the scenario and spawns the consumer;
+ * submit()/stats() run for as long as the stream lasts; drain()
+ * stops the consumer, runs the engine to completion, and returns
+ * the same SimulationResult the batch simulator would have produced
+ * for the same released stream — pinned byte-identical by the
+ * driver-parity tests via resultFingerprint().
+ *
+ * Reservation-horizon parity: batch runs derive the reserved-
+ * capacity horizon from the full trace before simulating. A live
+ * daemon cannot see the future, so it derives the same horizon from
+ * its scenario's *calibration workload* (the trace the scenario
+ * realizes anyway to calibrate queue averages) at start(). Streams
+ * drawn from that workload — the serving deployment model, and what
+ * the parity harness replays — therefore account reserved cost
+ * exactly like the batch run.
+ */
+
+#ifndef GAIA_SERVE_DAEMON_H
+#define GAIA_SERVE_DAEMON_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "analysis/scenario.h"
+#include "serve/submission_queue.h"
+#include "serve/wall_clock_driver.h"
+#include "sim/online.h"
+
+namespace gaia::serve {
+
+/** Daemon configuration: what to serve and how fast. */
+struct ServeConfig
+{
+    /** The scenario whose assets, policy, and cluster the daemon
+     *  serves (the workload spec is the calibration workload). */
+    ScenarioSpec scenario;
+
+    /** Virtual seconds per wall second; <= 0 = unpaced (run as
+     *  fast as the stream allows). */
+    double accel = 1000.0;
+
+    /** Submission-queue capacity (rounded up to a power of two);
+     *  the admission high-water mark. */
+    std::size_t queue_capacity = 1 << 16;
+};
+
+/** One consistent snapshot of the daemon's counters. */
+struct ServeStats
+{
+    /** Offers accepted into the queue. */
+    std::uint64_t accepted = 0;
+    /** Offers rejected at the high-water mark (backpressure). */
+    std::uint64_t rejected_full = 0;
+    /** Releases the engine refused (out-of-order arrivals). */
+    std::uint64_t rejected_late = 0;
+    /** Jobs released into the engine. */
+    std::uint64_t released = 0;
+    /** Jobs whose final segment settled (listener callbacks). */
+    std::uint64_t completed = 0;
+    /** Virtual time of the engine's clock. */
+    Seconds sim_now = 0;
+    /** Racy queue occupancy estimate. */
+    std::size_t queue_depth = 0;
+    std::size_t queue_capacity = 0;
+};
+
+/** Streaming scheduling daemon; see the file comment. */
+class ServeDaemon final : public ProtocolListener
+{
+  public:
+    /**
+     * Realize the scenario, derive the reservation horizon from its
+     * calibration workload, boot the engine, and spawn the consumer
+     * thread. Errors on any invalid input, never exits.
+     */
+    static Result<std::unique_ptr<ServeDaemon>>
+    start(const ServeConfig &config);
+
+    /** Stops the consumer (discarding a result never drained). */
+    ~ServeDaemon() override;
+
+    ServeDaemon(const ServeDaemon &) = delete;
+    ServeDaemon &operator=(const ServeDaemon &) = delete;
+
+    /**
+     * Offer one job to the stream. Thread-safe, lock-free, callable
+     * from any number of producers; ResourceExhausted past the
+     * queue's high-water mark, FailedPrecondition after drain().
+     */
+    Status submit(const Job &job);
+
+    /** Counter snapshot; thread-safe. */
+    ServeStats stats() const;
+
+    /**
+     * End the stream: stop accepting, release everything still
+     * queued, run the engine to completion, and close the books.
+     * Callable once; the result's fingerprint is the parity oracle
+     * against the batch run of the same stream.
+     */
+    Result<SimulationResult> drain();
+
+    /**
+     * The realized calibration trace — what a parity harness
+     * streams to reproduce the batch run, and what the reservation
+     * horizon was derived from.
+     */
+    const JobTrace &calibrationTrace() const;
+
+    /** ProtocolListener: a job's final segment settled. Runs on
+     *  the consumer thread via the engine's event queue. */
+    void onJobEnd(Seconds at, JobId id) override;
+
+  private:
+    ServeDaemon(RealizedScenario realized, OnlineScheduler engine,
+                const ServeConfig &config);
+
+    RealizedScenario realized_;
+    /** Behind a pointer for address stability: the driver and the
+     *  listener registration both alias the engine. */
+    std::unique_ptr<OnlineScheduler> engine_;
+    SubmissionQueue queue_;
+    std::unique_ptr<WallClockDriver> driver_;
+    std::thread consumer_;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> rejected_full_{0};
+    std::atomic<std::uint64_t> completed_{0};
+};
+
+} // namespace gaia::serve
+
+#endif // GAIA_SERVE_DAEMON_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bounded job-submission queue of the serving layer.
+ *
+ * A thin admission-control facade over the lock-free MPSC ring
+ * (common/mpsc_queue.h): any number of producer threads (control-
+ * socket connections, API handlers, test hammers) offer jobs; the
+ * daemon's single driver thread pops them. A full ring surfaces as
+ * a ResourceExhausted Status — the daemon's backpressure signal —
+ * rather than blocking the producer or growing without bound.
+ */
+
+#ifndef GAIA_SERVE_SUBMISSION_QUEUE_H
+#define GAIA_SERVE_SUBMISSION_QUEUE_H
+
+#include <cstddef>
+
+#include "common/mpsc_queue.h"
+#include "common/status.h"
+#include "workload/job.h"
+
+namespace gaia::serve {
+
+/** Bounded multi-producer job hand-off; see the file comment. */
+class SubmissionQueue
+{
+  public:
+    /** `capacity` rounds up to a power of two (the high-water
+     *  mark past which offers are rejected). */
+    explicit SubmissionQueue(std::size_t capacity) : ring_(capacity)
+    {
+    }
+
+    /**
+     * Enqueue a copy of `job`; ResourceExhausted when the queue is
+     * at capacity. Thread-safe; callable from any producer.
+     */
+    Status
+    offer(const Job &job)
+    {
+        Job copy = job;
+        if (!ring_.tryPush(copy)) {
+            return Status::resourceExhausted(
+                "submission queue is full (", ring_.capacity(),
+                " slots); retry later");
+        }
+        return Status::ok();
+    }
+
+    /** Dequeue into `out`; false when empty. Single consumer. */
+    bool tryPop(Job &out) { return ring_.tryPop(out); }
+
+    std::size_t capacity() const { return ring_.capacity(); }
+
+    /** Racy occupancy estimate for stats/monitoring. */
+    std::size_t sizeApprox() const { return ring_.sizeApprox(); }
+
+  private:
+    MpscQueue<Job> ring_;
+};
+
+} // namespace gaia::serve
+
+#endif // GAIA_SERVE_SUBMISSION_QUEUE_H

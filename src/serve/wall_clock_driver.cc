@@ -1,0 +1,112 @@
+#include "serve/wall_clock_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/obs.h"
+#include "core/cis.h"
+
+namespace gaia::serve {
+
+namespace {
+
+obs::Counter &c_released = obs::counter("serve.jobs_released");
+obs::Counter &c_rejected_late =
+    obs::counter("serve.jobs_rejected_late");
+
+/** Idle backoff between polls when neither the queue nor the clock
+ *  had work; long enough to not burn a core, short enough that a
+ *  1000x-accelerated second costs at most a few percent of lag. */
+constexpr auto kIdleSleep = std::chrono::microseconds(200);
+
+} // namespace
+
+WallClockDriver::WallClockDriver(ISchedulerProtocol &protocol,
+                                 SubmissionQueue &queue,
+                                 WallClockConfig config)
+    : protocol_(protocol), queue_(queue), config_(config)
+{
+}
+
+bool
+WallClockDriver::drainQueue()
+{
+    bool did_work = false;
+    Job job;
+    while (queue_.tryPop(job)) {
+        did_work = true;
+        const Status released = protocol_.onJobRelease(job);
+        if (released.isOk()) {
+            release_horizon_ =
+                std::max(release_horizon_, job.submit);
+            released_.fetch_add(1, std::memory_order_relaxed);
+            c_released.add(1);
+        } else {
+            rejected_late_.fetch_add(1, std::memory_order_relaxed);
+            c_rejected_late.add(1);
+        }
+    }
+    return did_work;
+}
+
+void
+WallClockDriver::tickTo(Seconds target)
+{
+    if (config_.source != nullptr) {
+        // Report availability edges of the carbon source as they
+        // come into effect. Informational (the engine re-probes
+        // lazily), so polling at tick granularity is enough.
+        const bool available = config_.source->availableAt(target);
+        if (available != source_available_) {
+            source_available_ = available;
+            protocol_.onSourceUpdate(target);
+        }
+    }
+    protocol_.onTick(target);
+    sim_now_.store(target, std::memory_order_relaxed);
+}
+
+void
+WallClockDriver::run(const std::atomic<bool> &stop)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+
+    for (;;) {
+        bool did_work = drainQueue();
+
+        // The release-horizon bound (see the file comment): never
+        // enter the timestamp of a job the stream may still be
+        // delivering.
+        Seconds target = release_horizon_ - 1;
+        if (config_.accel > 0.0) {
+            const double wall =
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count();
+            const auto paced = static_cast<Seconds>(
+                std::floor(wall * config_.accel));
+            target = std::min(target, paced);
+        }
+        if (target > protocol_.now()) {
+            tickTo(target);
+            did_work = true;
+        }
+
+        if (stop.load(std::memory_order_acquire)) {
+            // Shutdown: accept everything still queued (producers
+            // are expected to have stopped), then run the engine to
+            // completion — drain-on-shutdown never discards work.
+            drainQueue();
+            protocol_.onDrain();
+            sim_now_.store(protocol_.now(),
+                           std::memory_order_relaxed);
+            return;
+        }
+        if (!did_work)
+            std::this_thread::sleep_for(kIdleSleep);
+    }
+}
+
+} // namespace gaia::serve

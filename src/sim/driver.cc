@@ -1,0 +1,14 @@
+#include "sim/driver.h"
+
+namespace gaia {
+
+Status
+VirtualClockDriver::replay(const JobTrace &trace)
+{
+    for (const Job &job : trace.jobs())
+        GAIA_TRY(protocol_.onJobRelease(job));
+    protocol_.onDrain();
+    return Status::ok();
+}
+
+} // namespace gaia

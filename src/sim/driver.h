@@ -1,0 +1,49 @@
+/**
+ * @file
+ * VirtualClockDriver — the batch driver of ISchedulerProtocol.
+ *
+ * Replays a pre-materialised JobTrace against a scheduling engine in
+ * virtual time: release every job in submit order, then drain. The
+ * engine's event queue does all the clock-keeping, so there is no
+ * explicit ticking — this is exactly the feed loop the batch
+ * simulator has always run, expressed against the protocol so the
+ * serving layer's wall-clock driver can be held to byte-identical
+ * results (see tests/serve/test_driver_parity.cc).
+ */
+
+#ifndef GAIA_SIM_DRIVER_H
+#define GAIA_SIM_DRIVER_H
+
+#include "common/status.h"
+#include "sim/protocol.h"
+#include "workload/job.h"
+
+namespace gaia {
+
+/** Trace-replay driver; see the file comment. */
+class VirtualClockDriver
+{
+  public:
+    /** `protocol` must outlive the driver. */
+    explicit VirtualClockDriver(ISchedulerProtocol &protocol)
+        : protocol_(protocol)
+    {
+    }
+
+    /**
+     * Release every job of `trace` (sorted by submit time, so no
+     * release can land in the past), then drain the engine. May be
+     * called more than once for incremental multi-trace feeds.
+     */
+    Status replay(const JobTrace &trace);
+
+    /** Close the engine's books; call once, after the replays. */
+    SimulationResult finish() { return protocol_.onSimulationEnd(); }
+
+  private:
+    ISchedulerProtocol &protocol_;
+};
+
+} // namespace gaia
+
+#endif // GAIA_SIM_DRIVER_H

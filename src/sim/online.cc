@@ -25,6 +25,15 @@ obs::Counter &c_spot_instance_retries =
     obs::counter("fault.spot_instance_retries");
 obs::Counter &c_degraded_instance_hours =
     obs::counter("policy.degraded_instance_hours");
+obs::Counter &c_source_updates =
+    obs::counter("serve.source_updates");
+
+/**
+ * Same-timestamp priority of EvJobEnd notifications. Arrivals run at
+ * 0 and every scheduling action at the default 1, so 2 delivers the
+ * listener callback after the instant's state changes have settled.
+ */
+constexpr int kNotifyPriority = 2;
 
 /**
  * Post-eviction restarts abandon the (now stale) plan and re-run the
@@ -137,8 +146,35 @@ OnlineScheduler::onEvent(const SimEvent &event)
         pool_.release(static_cast<int>(event.a), events_.now());
         drainPending();
         return;
+      case EvJobEnd:
+        // Notification only; a listener detached after the schedule
+        // simply misses the callback.
+        if (listener_ != nullptr)
+            listener_->onJobEnd(events_.now(),
+                                states_[idx].outcome.id);
+        return;
     }
     panic("unknown event kind ", event.kind);
+}
+
+void
+OnlineScheduler::notifyJobEnd(std::size_t idx, Seconds at)
+{
+    if (listener_ == nullptr)
+        return;
+    events_.schedule(at, kNotifyPriority,
+                     SimEvent{EvJobEnd,
+                              static_cast<std::uint32_t>(idx), 0});
+}
+
+void
+OnlineScheduler::onSourceUpdate(Seconds t)
+{
+    GAIA_ASSERT(!finalized_, "onSourceUpdate() after finalize()");
+    GAIA_ASSERT(t >= events_.now(),
+                "source update at ", t, " is in the past (now ",
+                events_.now(), ")");
+    ++source_updates_;
 }
 
 bool
@@ -392,6 +428,9 @@ OnlineScheduler::followPlan(std::size_t idx, bool on_spot)
                           PurchaseOption::OnDemand, /*lost=*/false,
                           seg.width);
         }
+        notifyJobEnd(
+            idx,
+            state.plan.segment(state.plan.segmentCount() - 1).end);
         return;
     }
     for (std::size_t s = 0; s < state.plan.segmentCount(); ++s) {
@@ -431,6 +470,8 @@ OnlineScheduler::placeSegment(std::size_t idx, std::size_t seg_idx)
                       PurchaseOption::OnDemand, /*lost=*/false,
                       seg.width);
     }
+    if (seg_idx + 1 == state.plan.segmentCount())
+        notifyJobEnd(idx, seg.end);
 }
 
 void
@@ -442,12 +483,14 @@ OnlineScheduler::placeSpotSegment(std::size_t idx,
         return;
     const RunSegment &seg = state.plan.segment(seg_idx);
     state.started = true;
-    runSpotSlice(idx, seg.start, seg.end, seg.width);
+    runSpotSlice(idx, seg.start, seg.end, seg.width,
+                 seg_idx + 1 == state.plan.segmentCount());
 }
 
 void
 OnlineScheduler::runSpotSlice(std::size_t idx, Seconds from,
-                              Seconds to, int width)
+                              Seconds to, int width,
+                              bool final_slice)
 {
     JobState &state = states_[idx];
 
@@ -471,6 +514,8 @@ OnlineScheduler::runSpotSlice(std::size_t idx, Seconds from,
     if (evict_at < 0) {
         recordSegment(idx, from, to, PurchaseOption::Spot,
                       /*lost=*/false, width);
+        if (final_slice)
+            notifyJobEnd(idx, to);
         return;
     }
 
@@ -513,7 +558,10 @@ OnlineScheduler::restartAfterEviction(std::size_t idx, Seconds at)
         // separately, so instance-level retries scale with width.
         spot_instance_retries_ +=
             static_cast<std::uint64_t>(width);
-        runSpotSlice(idx, at, at + duration, width);
+        // A restart re-runs the whole job, so surviving it settles
+        // the job.
+        runSpotSlice(idx, at, at + duration, width,
+                     /*final_slice=*/true);
         return;
     }
     // Restart the full job; prefer a free reserved core, matching
@@ -534,6 +582,7 @@ OnlineScheduler::restartAfterEviction(std::size_t idx, Seconds at)
                       PurchaseOption::OnDemand, /*lost=*/false,
                       width);
     }
+    notifyJobEnd(idx, at + duration);
 }
 
 void
@@ -557,6 +606,7 @@ OnlineScheduler::startOnReserved(std::size_t idx, Seconds at)
         at + duration,
         SimEvent{EvPoolRelease,
                  static_cast<std::uint32_t>(cores), 0});
+    notifyJobEnd(idx, at + duration);
 }
 
 void
@@ -593,6 +643,7 @@ OnlineScheduler::onPlannedStart(std::size_t idx)
                   events_.now() + state.plan.totalRunTime(),
                   PurchaseOption::OnDemand, /*lost=*/false,
                   state.plan.segment(0).width);
+    notifyJobEnd(idx, events_.now() + state.plan.totalRunTime());
 }
 
 void
@@ -878,6 +929,8 @@ OnlineScheduler::finalize()
         c_degraded.add(degraded_plans_);
     if (spot_instance_retries_ > 0)
         c_spot_instance_retries.add(spot_instance_retries_);
+    if (source_updates_ > 0)
+        c_source_updates.add(source_updates_);
     if (degraded_instance_seconds_ > 0) {
         c_degraded_instance_hours.add(
             (degraded_instance_seconds_ + kSecondsPerHour - 1) /

@@ -8,8 +8,8 @@
  * is that embedding surface in this codebase: jobs are submitted
  * one at a time as they arrive, simulated time advances
  * incrementally, and the books can be read out whenever the caller
- * likes. The trace-driven simulate() API is a thin batch wrapper
- * around this class, so both paths share one engine and one
+ * likes. The trace-driven simulateChecked() API is a thin batch
+ * wrapper around this class, so both paths share one engine and one
  * accounting implementation.
  *
  * The event loop is allocation-free on the hot path: every handler
@@ -49,6 +49,7 @@
 #include "core/queues.h"
 #include "sim/cluster.h"
 #include "sim/event_queue.h"
+#include "sim/protocol.h"
 #include "sim/results.h"
 
 namespace gaia {
@@ -58,8 +59,15 @@ class FaultInjector;
 /**
  * Incremental cluster scheduler/simulator. Single-threaded; all
  * referenced collaborators must outlive the scheduler.
+ *
+ * The driver-facing surface is ISchedulerProtocol (sim/protocol.h):
+ * VirtualClockDriver replays traces for the batch simulator, the
+ * serving layer's WallClockDriver paces a live stream. The named
+ * methods below (submit/advanceTo/drain/finalize) remain for
+ * embedders that hold the concrete class.
  */
-class OnlineScheduler : private EventQueue::Sink
+class OnlineScheduler : public ISchedulerProtocol,
+                        private EventQueue::Sink
 {
   public:
     /**
@@ -119,7 +127,7 @@ class OnlineScheduler : private EventQueue::Sink
     void setDefaultElasticProfile(const ElasticProfile &profile);
 
     /** Current simulation time. */
-    Seconds now() const { return events_.now(); }
+    Seconds now() const override { return events_.now(); }
 
     /** Process every event up to and including time `t`. */
     void advanceTo(Seconds t);
@@ -129,6 +137,30 @@ class OnlineScheduler : private EventQueue::Sink
 
     /** Jobs submitted so far. */
     std::size_t submittedJobs() const { return states_.size(); }
+
+    // ISchedulerProtocol: the driver-facing aliases of the embedding
+    // API above. Kept thin so a driver and a direct embedder observe
+    // the same engine behaviour.
+    Status onJobRelease(const Job &job) override
+    {
+        return submit(job);
+    }
+
+    void onTick(Seconds t) override { advanceTo(t); }
+
+    /** Informational only (see ISchedulerProtocol): counted and
+     *  flushed to the `serve.source_updates` metric; the engine
+     *  re-probes the source lazily, so schedules never change. */
+    void onSourceUpdate(Seconds t) override;
+
+    void onDrain() override { drain(); }
+
+    SimulationResult onSimulationEnd() override { return finalize(); }
+
+    std::size_t releasedJobs() const override
+    {
+        return states_.size();
+    }
 
     /** Jobs currently waiting for reserved capacity. */
     std::size_t pendingJobs() const { return pending_.size(); }
@@ -176,6 +208,14 @@ class OnlineScheduler : private EventQueue::Sink
         EvRestartAfterEviction,
         /** a = cpus to return to the reserved pool. */
         EvPoolRelease,
+        /**
+         * a = job index; notification to the attached
+         * ProtocolListener that the job settled. Scheduled only
+         * while a listener is attached, so listener-free (batch)
+         * runs dispatch a bit-identical event stream to the
+         * pre-protocol engine.
+         */
+        EvJobEnd,
     };
 
     void onEvent(const SimEvent &event) override;
@@ -195,9 +235,16 @@ class OnlineScheduler : private EventQueue::Sink
     /** Run [from, to) of job `idx` on spot at `width` instances;
      *  evict at the earlier of the independent sampled eviction and
      *  the first storm. One eviction draw covers the whole gang, so
-     *  the RNG stream is identical to the width-1 stream. */
+     *  the RNG stream is identical to the width-1 stream.
+     *  `final_slice` marks the slice whose successful completion
+     *  settles the job (last planned segment, or a restart that
+     *  covers the whole job). */
     void runSpotSlice(std::size_t idx, Seconds from, Seconds to,
-                      int width);
+                      int width, bool final_slice);
+    /** Schedule the EvJobEnd notification for `idx` at `at`; no-op
+     *  without an attached listener. Called exactly once per job, at
+     *  the record site of its final non-lost segment. */
+    void notifyJobEnd(std::size_t idx, Seconds at);
     void startOnReserved(std::size_t idx, Seconds at);
     void recordSegment(std::size_t idx, Seconds from, Seconds to,
                        PurchaseOption option, bool lost,
@@ -239,6 +286,9 @@ class OnlineScheduler : private EventQueue::Sink
      *  dispatch loop is single-threaded) flushed to the process-wide
      *  sim.events_dispatched counter once at finalize(). */
     std::uint64_t events_dispatched_ = 0;
+    /** Source-availability edges reported by the driver, flushed to
+     *  serve.source_updates at finalize(). */
+    std::uint64_t source_updates_ = 0;
     /** Fault bookkeeping, flushed like events_dispatched_. */
     std::uint64_t faults_injected_ = 0;
     std::uint64_t cis_retries_ = 0;

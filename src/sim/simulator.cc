@@ -4,12 +4,13 @@
 
 #include "common/logging.h"
 #include "fault/injector.h"
+#include "sim/driver.h"
 #include "sim/online.h"
 
 namespace gaia {
 
-Result<SimulationResult>
-simulateChecked(const SimulationSetup &setup)
+Status
+validateSetup(const SimulationSetup &setup)
 {
     GAIA_REQUIRE(setup.trace != nullptr,
                  "simulation setup has no job trace");
@@ -32,11 +33,30 @@ simulateChecked(const SimulationSetup &setup)
             setup.trace->lastArrival(),
             "s; the job and carbon horizons do not match");
     }
+    GAIA_TRY(validateClusterSetup(setup.cluster, setup.strategy));
+    if (setup.faults != nullptr)
+        GAIA_TRY(setup.faults->spec().validate());
+    if (setup.elastic != nullptr)
+        GAIA_TRY(setup.elastic->validate());
+    return Status::ok();
+}
+
+Result<SimulationSetup>
+SimulationSetup::Builder::build() const
+{
+    GAIA_TRY(validateSetup(setup_));
+    return setup_;
+}
+
+Result<SimulationResult>
+simulateChecked(const SimulationSetup &setup)
+{
+    GAIA_TRY(validateSetup(setup));
 
     // Batch mode: resolve the reservation horizon up front (it only
     // depends on the trace and queue limits, so every policy
-    // compared on one scenario pays the same upfront cost), feed
-    // every job to the online engine, and run to completion.
+    // compared on one scenario pays the same upfront cost), then
+    // ride the virtual-clock driver over the online engine.
     ClusterConfig cluster = setup.cluster;
     const bool derived = cluster.reservation_horizon == 0;
     if (derived) {
@@ -50,17 +70,11 @@ simulateChecked(const SimulationSetup &setup)
                                 *setup.cis, cluster, setup.strategy,
                                 setup.trace->name(), setup.faults));
     scheduler.reserveJobs(setup.trace->jobCount());
-    if (setup.elastic != nullptr) {
-        GAIA_TRY(setup.elastic->validate());
+    if (setup.elastic != nullptr)
         scheduler.setDefaultElasticProfile(*setup.elastic);
-    }
-    for (const Job &job : setup.trace->jobs()) {
-        // A JobTrace is sorted by submit time, so feeding it in
-        // order can never submit into the past.
-        GAIA_TRY(scheduler.submit(job));
-    }
-    scheduler.drain();
-    SimulationResult result = scheduler.finalize();
+    VirtualClockDriver driver(scheduler);
+    GAIA_TRY(driver.replay(*setup.trace));
+    SimulationResult result = driver.finish();
 
     if (derived && setup.faults == nullptr) {
         // The derived horizon is a guarantee, not a user choice;
@@ -101,7 +115,12 @@ simulate(const JobTrace &trace, const SchedulingPolicy &policy,
     setup.cis = &cis;
     setup.cluster = cluster;
     setup.strategy = strategy;
-    return simulate(setup);
+    Result<SimulationResult> result = simulateChecked(setup);
+    GAIA_ASSERT(result.isOk(),
+                "simulate() on an invalid setup (use "
+                "simulateChecked for untrusted input): ",
+                result.status().message());
+    return std::move(result).value();
 }
 
 } // namespace gaia

@@ -9,13 +9,19 @@
  * AWS ParallelCluster deployment, minus instance spin-up/teardown
  * overheads (which the paper's normalized metrics neglect too).
  *
- * Two entry points share one implementation: simulateChecked()
- * validates the setup and returns a Status for inconsistent input
- * (missing collaborators, a carbon trace that ends before the last
- * job arrives, an invalid cluster/strategy combination), which is
- * what CLI/scenario code wants; simulate() is the thin trusted-input
- * wrapper that asserts instead, for callers that construct setups
- * programmatically.
+ * The one entry point is simulateChecked(): it validates the setup
+ * and returns a Status for inconsistent input (missing
+ * collaborators, a carbon trace that ends before the last job
+ * arrives, an invalid cluster/strategy combination), then rides the
+ * VirtualClockDriver (sim/driver.h) over the online engine.
+ * Assemble the setup with SimulationSetup::Builder rather than
+ * writing struct fields by hand — build() runs the same validation,
+ * so errors surface where the setup is constructed, not where it is
+ * run.
+ *
+ * simulate() — the old trusted-input wrapper that asserted instead
+ * of returning — is deprecated and kept for one release as a shim;
+ * see DESIGN.md, "Migrating off simulate()".
  */
 
 #ifndef GAIA_SIM_SIMULATOR_H
@@ -51,7 +57,105 @@ struct SimulationSetup
      * at submit time, never onto the trace itself.
      */
     const ElasticProfile *elastic = nullptr;
+
+    class Builder;
 };
+
+/**
+ * Fluent assembly of a SimulationSetup. All referenced
+ * collaborators must outlive the built setup's run. build()
+ * validates the whole setup (the same checks simulateChecked()
+ * runs), so a bad combination errors at construction:
+ *
+ *     GAIA_TRY_ASSIGN(const SimulationSetup setup,
+ *                     SimulationSetup::Builder()
+ *                         .trace(trace)
+ *                         .policy(*policy)
+ *                         .queues(queues)
+ *                         .cis(cis)
+ *                         .cluster(cluster)
+ *                         .strategy(ResourceStrategy::SpotReserved)
+ *                         .build());
+ *     GAIA_TRY_ASSIGN(const SimulationResult result,
+ *                     simulateChecked(setup));
+ */
+class SimulationSetup::Builder
+{
+  public:
+    Builder &
+    trace(const JobTrace &trace)
+    {
+        setup_.trace = &trace;
+        return *this;
+    }
+
+    Builder &
+    policy(const SchedulingPolicy &policy)
+    {
+        setup_.policy = &policy;
+        return *this;
+    }
+
+    Builder &
+    queues(const QueueConfig &queues)
+    {
+        setup_.queues = &queues;
+        return *this;
+    }
+
+    Builder &
+    cis(const CarbonInfoSource &cis)
+    {
+        setup_.cis = &cis;
+        return *this;
+    }
+
+    Builder &
+    cluster(const ClusterConfig &cluster)
+    {
+        setup_.cluster = cluster;
+        return *this;
+    }
+
+    Builder &
+    strategy(ResourceStrategy strategy)
+    {
+        setup_.strategy = strategy;
+        return *this;
+    }
+
+    /** nullptr (the default) disables fault injection. */
+    Builder &
+    faults(const FaultInjector *faults)
+    {
+        setup_.faults = faults;
+        return *this;
+    }
+
+    /** nullptr (the default) leaves every job fixed-width. */
+    Builder &
+    elastic(const ElasticProfile *elastic)
+    {
+        setup_.elastic = elastic;
+        return *this;
+    }
+
+    /** Validate and return the setup, or the Status explaining
+     *  what is wrong with it. */
+    Result<SimulationSetup> build() const;
+
+  private:
+    SimulationSetup setup_;
+};
+
+/**
+ * Full input validation of a setup: required collaborators present,
+ * the carbon trace covers the arrivals, the cluster/strategy
+ * combination is consistent, fault and elastic specs are valid.
+ * Shared by SimulationSetup::Builder::build() and
+ * simulateChecked(), so the two can never drift.
+ */
+Status validateSetup(const SimulationSetup &setup);
 
 /**
  * Run one simulation; returns a Status (instead of dying) on an
@@ -60,11 +164,26 @@ struct SimulationSetup
 Result<SimulationResult>
 simulateChecked(const SimulationSetup &setup);
 
-/** Trusted-input wrapper; asserts on setups simulateChecked()
- *  would reject. */
+/**
+ * Trusted-input wrapper; asserts on setups simulateChecked() would
+ * reject.
+ *
+ * @deprecated Call simulateChecked() and handle the Status — the
+ * assert-on-bad-input contract hid setup mistakes until runtime in
+ * whatever binary tripped them. Shim kept for one release; see
+ * DESIGN.md, "Migrating off simulate()".
+ */
+[[deprecated("use simulateChecked() (see DESIGN.md)")]]
 SimulationResult simulate(const SimulationSetup &setup);
 
-/** Convenience overload assembling the setup from parts. */
+/**
+ * Convenience overload assembling the setup from parts.
+ *
+ * @deprecated Assemble with SimulationSetup::Builder and call
+ * simulateChecked(); see DESIGN.md, "Migrating off simulate()".
+ */
+[[deprecated("use SimulationSetup::Builder + simulateChecked() "
+             "(see DESIGN.md)")]]
 SimulationResult
 simulate(const JobTrace &trace, const SchedulingPolicy &policy,
          const QueueConfig &queues, const CarbonInfoSource &cis,

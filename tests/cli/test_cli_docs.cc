@@ -49,8 +49,10 @@ repoPath(const std::string &relative)
 
 const std::vector<std::string> kFlagSources = {
     "src/cli/options.cc",
+    "src/cli/gaia_serve.cc",
     "bench/bench_common.h",
     "bench/micro_sim_throughput.cc",
+    "bench/micro_serve_ingest.cc",
 };
 
 } // namespace

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "core/policy_factory.h"
 #include "sim/simulator.h"
+#include "tests/common/sim_test_util.h"
 #include "trace/region_model.h"
 
 namespace gaia {
@@ -96,7 +97,7 @@ TEST(MultiQueue, PerQueueWaitingBoundsHold)
     for (const char *policy :
          {"Lowest-Slot", "Lowest-Window", "Carbon-Time",
           "Wait-Awhile", "Ecovisor"}) {
-        const SimulationResult r = simulate(
+        const SimulationResult r = testutil::runSim(
             trace, *makePolicy(policy), queues, cis);
         for (const JobOutcome &o : r.outcomes) {
             const QueueSpec &queue = queues.queueFor(o.length);
@@ -132,9 +133,9 @@ TEST(MultiQueue, FinerQueuesImproveLengthEstimates)
 
     const PolicyPtr lw = makePolicy("Lowest-Window");
     const double carbon_coarse =
-        simulate(trace, *lw, coarse, cis).carbon_kg;
+        testutil::runSim(trace, *lw, coarse, cis).carbon_kg;
     const double carbon_fine =
-        simulate(trace, *lw, fine, cis).carbon_kg;
+        testutil::runSim(trace, *lw, fine, cis).carbon_kg;
     // Allow a small tolerance: better estimates are not a strict
     // guarantee per-instance, but must not blow up.
     EXPECT_LT(carbon_fine, carbon_coarse * 1.05);

@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "core/policy_factory.h"
 #include "sim/simulator.h"
+#include "tests/common/sim_test_util.h"
 
 namespace gaia {
 namespace {
@@ -55,12 +56,12 @@ TEST(Metamorphic, HybridGreedyWithZeroReservedEqualsOnDemand)
 
     for (const std::string &policy : allPolicyNames()) {
         const PolicyPtr p = makePolicy(policy);
-        const SimulationResult od = simulate(
+        const SimulationResult od = testutil::runSim(
             trace, *p, q, cis, {},
             ResourceStrategy::OnDemandOnly);
         ClusterConfig zero;
         zero.reserved_cores = 0;
-        const SimulationResult hybrid = simulate(
+        const SimulationResult hybrid = testutil::runSim(
             trace, *p, q, cis, zero,
             ResourceStrategy::HybridGreedy);
         EXPECT_DOUBLE_EQ(od.carbon_kg, hybrid.carbon_kg)
@@ -86,9 +87,9 @@ TEST(Metamorphic, DoublingPowerDoublesCarbonAndEnergy)
     doubled.energy.watts_per_core =
         base.energy.watts_per_core * 2.0;
 
-    const SimulationResult a = simulate(trace, *p, q, cis, base);
+    const SimulationResult a = testutil::runSim(trace, *p, q, cis, base);
     const SimulationResult b =
-        simulate(trace, *p, q, cis, doubled);
+        testutil::runSim(trace, *p, q, cis, doubled);
     EXPECT_NEAR(b.carbon_kg, 2.0 * a.carbon_kg,
                 1e-9 * a.carbon_kg);
     EXPECT_NEAR(b.energy_kwh, 2.0 * a.energy_kwh,
@@ -111,10 +112,10 @@ TEST(Metamorphic, ScalingPricesScalesCosts)
     ClusterConfig scaled = base;
     scaled.pricing.on_demand_per_core_hour *= 3.0;
 
-    const SimulationResult a = simulate(
+    const SimulationResult a = testutil::runSim(
         trace, *p, q, cis, base, ResourceStrategy::ReservedFirst);
     const SimulationResult b =
-        simulate(trace, *p, q, cis, scaled,
+        testutil::runSim(trace, *p, q, cis, scaled,
                  ResourceStrategy::ReservedFirst);
     EXPECT_NEAR(b.totalCost(), 3.0 * a.totalCost(),
                 1e-9 * a.totalCost());
@@ -142,8 +143,8 @@ TEST(Metamorphic, DayShiftOnPeriodicGridPreservesCarbon)
          {"Lowest-Slot", "Lowest-Window", "Carbon-Time",
           "Wait-Awhile", "Ecovisor"}) {
         const PolicyPtr p = makePolicy(policy);
-        const SimulationResult a = simulate(trace, *p, q, cis);
-        const SimulationResult b = simulate(shifted, *p, q, cis);
+        const SimulationResult a = testutil::runSim(trace, *p, q, cis);
+        const SimulationResult b = testutil::runSim(shifted, *p, q, cis);
         ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
         for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
             EXPECT_NEAR(a.outcomes[i].carbon_g,
@@ -173,9 +174,9 @@ TEST(Metamorphic, UniformIntensityScalingScalesCarbonOnly)
          {"Lowest-Window", "Carbon-Time", "Wait-Awhile"}) {
         const PolicyPtr p = makePolicy(policy);
         const SimulationResult a =
-            simulate(trace, *p, q, cis_a);
+            testutil::runSim(trace, *p, q, cis_a);
         const SimulationResult b =
-            simulate(trace, *p, q, cis_b);
+            testutil::runSim(trace, *p, q, cis_b);
         // Relative structure unchanged -> identical schedules...
         EXPECT_DOUBLE_EQ(a.meanWaitingHours(),
                          b.meanWaitingHours())
@@ -212,9 +213,9 @@ TEST(Metamorphic, DisjointWorkloadsCompose)
     const JobTrace combined("combined", std::move(all));
 
     const PolicyPtr p = makePolicy("Carbon-Time");
-    const SimulationResult ra = simulate(early, *p, q, cis);
-    const SimulationResult rb = simulate(late, *p, q, cis);
-    const SimulationResult rc = simulate(combined, *p, q, cis);
+    const SimulationResult ra = testutil::runSim(early, *p, q, cis);
+    const SimulationResult rb = testutil::runSim(late, *p, q, cis);
+    const SimulationResult rc = testutil::runSim(combined, *p, q, cis);
     EXPECT_NEAR(rc.carbon_kg, ra.carbon_kg + rb.carbon_kg, 1e-9);
     EXPECT_NEAR(rc.on_demand_cost,
                 ra.on_demand_cost + rb.on_demand_cost, 1e-9);

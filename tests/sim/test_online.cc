@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "core/policy_factory.h"
 #include "sim/simulator.h"
+#include "tests/common/sim_test_util.h"
 
 namespace gaia {
 namespace {
@@ -60,8 +61,8 @@ TEST(Online, InterleavedSubmissionAndTime)
 
 TEST(Online, MatchesBatchSimulationExactly)
 {
-    // The batch simulate() is a wrapper over OnlineScheduler; an
-    // explicitly interleaved online run over the same jobs must
+    // The batch simulator is a trace replay over OnlineScheduler;
+    // an explicitly interleaved online run over the same jobs must
     // produce identical books.
     const CarbonTrace carbon = flatTrace();
     const CarbonInfoService cis(carbon);
@@ -81,7 +82,7 @@ TEST(Online, MatchesBatchSimulationExactly)
     const PolicyPtr policy = makePolicy("Carbon-Time");
 
     const SimulationResult batch =
-        simulate(trace, *policy, queues, cis, cluster,
+        testutil::runSim(trace, *policy, queues, cis, cluster,
                  ResourceStrategy::ReservedFirst);
 
     OnlineScheduler sched(*policy, queues, cis, cluster,
@@ -130,7 +131,7 @@ TEST(Online, RandomAdvancePatternsNeverChangeTheBooks)
         defaultReservationHorizon(trace, queues);
 
     const SimulationResult batch =
-        simulate(trace, *policy, queues, cis, cluster,
+        testutil::runSim(trace, *policy, queues, cis, cluster,
                  ResourceStrategy::ReservedFirst);
 
     for (std::uint64_t seed : {1u, 2u, 3u}) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/policy_factory.h"
+#include "tests/common/sim_test_util.h"
 
 namespace gaia {
 namespace {
@@ -30,7 +31,8 @@ run(const JobTrace &trace, const std::string &policy,
     ResourceStrategy strategy = ResourceStrategy::OnDemandOnly)
 {
     const PolicyPtr p = makePolicy(policy);
-    return simulate(trace, *p, queues, cis, cluster, strategy);
+    return testutil::runSim(trace, *p, queues, cis, cluster,
+                            strategy);
 }
 
 TEST(Simulator, SingleJobClosedFormAccounting)
@@ -319,9 +321,9 @@ TEST(Simulator, EmptyTraceProducesEmptyResult)
 
 TEST(SimulatorDeath, OnDemandOnlyWithReservedCoresIsFatal)
 {
-    // The batch wrapper pre-validates nothing: handing simulate()
-    // an inconsistent setup is a caller bug (recoverable callers
-    // must go through OnlineScheduler::create), so this asserts.
+    // The test helper treats an invalid setup as a test bug and
+    // dies with the build() Status; the inconsistency named there
+    // must survive into the message.
     const CarbonTrace carbon = flatTrace();
     const CarbonInfoService cis(carbon);
     const QueueConfig queues = oneQueue(hours(1));
@@ -335,8 +337,67 @@ TEST(SimulatorDeath, OnDemandOnlyWithReservedCoresIsFatal)
 
 TEST(SimulatorDeath, MissingInputsArePanics)
 {
+    // The deprecated trusted-input shim must keep its assert-on-bad-
+    // input contract for the release it survives.
     SimulationSetup setup;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     EXPECT_DEATH(simulate(setup), "has no job trace");
+#pragma GCC diagnostic pop
+}
+
+TEST(SimulatorBuilder, EmptyBuildReportsTheMissingInput)
+{
+    const Result<SimulationSetup> setup =
+        SimulationSetup::Builder().build();
+    ASSERT_FALSE(setup.isOk());
+    EXPECT_NE(setup.status().message().find("has no job trace"),
+              std::string::npos);
+}
+
+TEST(SimulatorBuilder, BuildsAndRunsACompleteSetup)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(1));
+    const JobTrace trace("t", {{1, 0, 100, 1}});
+    const PolicyPtr policy = makePolicy("NoWait");
+
+    const Result<SimulationSetup> setup =
+        SimulationSetup::Builder()
+            .trace(trace)
+            .policy(*policy)
+            .queues(queues)
+            .cis(cis)
+            .build();
+    ASSERT_TRUE(setup.isOk()) << setup.status().toString();
+    const Result<SimulationResult> result = simulateChecked(*setup);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_EQ(result->outcomes.size(), 1u);
+}
+
+TEST(SimulatorBuilder, RejectsTheInconsistentCombination)
+{
+    const CarbonTrace carbon = flatTrace();
+    const CarbonInfoService cis(carbon);
+    const QueueConfig queues = oneQueue(hours(1));
+    const JobTrace trace("t", {{1, 0, 100, 1}});
+    const PolicyPtr policy = makePolicy("NoWait");
+    ClusterConfig cluster;
+    cluster.reserved_cores = 5;
+
+    const Result<SimulationSetup> setup =
+        SimulationSetup::Builder()
+            .trace(trace)
+            .policy(*policy)
+            .queues(queues)
+            .cis(cis)
+            .cluster(cluster)
+            .strategy(ResourceStrategy::OnDemandOnly)
+            .build();
+    ASSERT_FALSE(setup.isOk());
+    EXPECT_NE(setup.status().message().find("OnDemandOnly"),
+              std::string::npos);
 }
 
 TEST(SimulatorChecked, RejectsEachMissingInput)

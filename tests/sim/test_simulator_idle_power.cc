@@ -4,6 +4,7 @@
 
 #include "core/policy_factory.h"
 #include "sim/simulator.h"
+#include "tests/common/sim_test_util.h"
 
 namespace gaia {
 namespace {
@@ -25,7 +26,7 @@ TEST(IdlePower, DisabledByDefault)
     cluster.reserved_cores = 4;
     const PolicyPtr p = makePolicy("NoWait");
     const SimulationResult r =
-        simulate(trace, *p, oneQueue(), cis, cluster,
+        testutil::runSim(trace, *p, oneQueue(), cis, cluster,
                  ResourceStrategy::ReservedFirst);
     EXPECT_DOUBLE_EQ(r.idle_carbon_kg, 0.0);
     EXPECT_DOUBLE_EQ(r.idle_energy_kwh, 0.0);
@@ -45,7 +46,7 @@ TEST(IdlePower, ClosedFormOnFlatTrace)
 
     const PolicyPtr p = makePolicy("NoWait");
     const SimulationResult r =
-        simulate(trace, *p, oneQueue(), cis, cluster,
+        testutil::runSim(trace, *p, oneQueue(), cis, cluster,
                  ResourceStrategy::ReservedFirst);
 
     // Idle core-hours: 2 cores x 10 h - 1 busy core-hour = 19.
@@ -75,12 +76,12 @@ TEST(IdlePower, IdleCarbonFollowsIntensityTiming)
     // Busy during the expensive hour.
     const JobTrace busy_spike("t", {{1, hours(1), hours(1), 1}});
     const SimulationResult a =
-        simulate(busy_spike, *p, oneQueue(), cis, cluster,
+        testutil::runSim(busy_spike, *p, oneQueue(), cis, cluster,
                  ResourceStrategy::ReservedFirst);
     // Busy during a cheap hour instead.
     const JobTrace busy_cheap("t", {{1, 0, hours(1), 1}});
     const SimulationResult b =
-        simulate(busy_cheap, *p, oneQueue(), cis, cluster,
+        testutil::runSim(busy_cheap, *p, oneQueue(), cis, cluster,
                  ResourceStrategy::ReservedFirst);
     EXPECT_LT(a.idle_carbon_kg, b.idle_carbon_kg);
     // a: idle hours 0 and 2 at 10 g; b: idle hours 1 (1000 g) and

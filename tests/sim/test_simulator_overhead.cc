@@ -4,6 +4,7 @@
 
 #include "core/policy_factory.h"
 #include "sim/simulator.h"
+#include "tests/common/sim_test_util.h"
 
 namespace gaia {
 namespace {
@@ -33,12 +34,12 @@ TEST(SimulatorOverhead, OnDemandSegmentChargedOnce)
 
     const PolicyPtr policy = makePolicy("NoWait");
     const SimulationResult r =
-        simulate(trace, *policy, queues, cis);
+        testutil::runSim(trace, *policy, queues, cis);
 
     // Useful: 2 core-hours; overhead: 2 cores x 5 min.
     const double overhead_cs = 0.0; // default config has none
     (void)overhead_cs;
-    const SimulationResult with = simulate(
+    const SimulationResult with = testutil::runSim(
         trace, *policy, queues, cis, cluster,
         ResourceStrategy::OnDemandOnly);
     EXPECT_DOUBLE_EQ(with.overhead_core_seconds,
@@ -67,7 +68,7 @@ TEST(SimulatorOverhead, ReservedSegmentsAreExempt)
 
     const PolicyPtr policy = makePolicy("NoWait");
     const SimulationResult r =
-        simulate(trace, *policy, queues, cis, cluster,
+        testutil::runSim(trace, *policy, queues, cis, cluster,
                  ResourceStrategy::ReservedFirst);
     EXPECT_DOUBLE_EQ(r.overhead_core_seconds, 0.0);
     EXPECT_DOUBLE_EQ(r.on_demand_cost, 0.0);
@@ -88,7 +89,7 @@ TEST(SimulatorOverhead, SuspendResumePaysPerSegment)
     cluster.startup_overhead = minutes(5);
 
     const PolicyPtr wa = makePolicy("Wait-Awhile");
-    const SimulationResult r = simulate(
+    const SimulationResult r = testutil::runSim(
         trace, *wa, queues, cis, cluster,
         ResourceStrategy::OnDemandOnly);
     ASSERT_EQ(r.outcomes[0].segments.size(), 2u);
@@ -110,7 +111,7 @@ TEST(SimulatorOverhead, ClipsAtTraceStart)
     cluster.startup_overhead = minutes(30);
 
     const PolicyPtr policy = makePolicy("NoWait");
-    const SimulationResult r = simulate(
+    const SimulationResult r = testutil::runSim(
         trace, *policy, queues, cis, cluster,
         ResourceStrategy::OnDemandOnly);
     // Carbon: (1 h useful + 0.5 h overhead) x 5 W x 200 g/kWh.
@@ -132,7 +133,7 @@ TEST(SimulatorOverhead, AccountingIdentityHolds)
     cluster.spot_max_length = kSecondsPerHour;
 
     const PolicyPtr policy = makePolicy("Carbon-Time");
-    const SimulationResult r = simulate(
+    const SimulationResult r = testutil::runSim(
         trace, *policy, queues, cis, cluster,
         ResourceStrategy::SpotReserved);
 

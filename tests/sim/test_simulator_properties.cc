@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "core/policy_factory.h"
 #include "sim/simulator.h"
+#include "tests/common/sim_test_util.h"
 #include "trace/region_model.h"
 
 namespace gaia {
@@ -64,7 +65,7 @@ TEST_P(SimInvariants, EveryRunSatisfiesGlobalInvariants)
 
     const PolicyPtr policy = makePolicy(policy_name);
     const SimulationResult r =
-        simulate(trace, *policy, queues, cis, cluster, strategy);
+        testutil::runSim(trace, *policy, queues, cis, cluster, strategy);
 
     ASSERT_EQ(r.outcomes.size(), trace.jobCount());
 
@@ -167,7 +168,7 @@ TEST(SimProperties, WaitingShrinksWithReservedCapacity)
         ClusterConfig cluster;
         cluster.reserved_cores = reserved;
         const SimulationResult r =
-            simulate(trace, *policy, queues, cis, cluster,
+            testutil::runSim(trace, *policy, queues, cis, cluster,
                      ResourceStrategy::ReservedFirst);
         EXPECT_LE(r.meanWaitingHours(), previous_wait + 1e-9)
             << "R=" << reserved;
@@ -188,9 +189,9 @@ TEST(SimProperties, NoWaitIgnoresWaitingLimits)
     const QueueConfig q2 = QueueConfig::standardShortLong(
         12 * kSecondsPerHour, 48 * kSecondsPerHour);
     const SimulationResult a =
-        simulate(trace, *policy, q1, cis);
+        testutil::runSim(trace, *policy, q1, cis);
     const SimulationResult b =
-        simulate(trace, *policy, q2, cis);
+        testutil::runSim(trace, *policy, q2, cis);
     EXPECT_DOUBLE_EQ(a.carbon_kg, b.carbon_kg);
     EXPECT_DOUBLE_EQ(a.on_demand_cost, b.on_demand_cost);
     EXPECT_DOUBLE_EQ(a.meanWaitingHours(), 0.0);
@@ -207,13 +208,13 @@ TEST(SimProperties, CarbonAwarePoliciesSaveCarbonOnVariableGrids)
     queues.calibrateAverages(trace);
 
     const double base =
-        simulate(trace, *makePolicy("NoWait"), queues, cis)
+        testutil::runSim(trace, *makePolicy("NoWait"), queues, cis)
             .carbon_kg;
     for (const char *name :
          {"Lowest-Slot", "Lowest-Window", "Carbon-Time",
           "Wait-Awhile", "Ecovisor"}) {
         const double c =
-            simulate(trace, *makePolicy(name), queues, cis)
+            testutil::runSim(trace, *makePolicy(name), queues, cis)
                 .carbon_kg;
         EXPECT_LT(c, base) << name;
     }
@@ -235,7 +236,7 @@ TEST(SimProperties, EvictionStormStillCompletesEveryJob)
     cluster.spot_eviction_rate = 1.0;
     cluster.spot_max_length = 2 * kSecondsPerHour;
     const SimulationResult r =
-        simulate(trace, *makePolicy("Carbon-Time"), queues, cis,
+        testutil::runSim(trace, *makePolicy("Carbon-Time"), queues, cis,
                  cluster, ResourceStrategy::SpotReserved);
     ASSERT_EQ(r.outcomes.size(), trace.jobCount());
     std::size_t spot_jobs = 0;

@@ -4,6 +4,7 @@
 
 #include "core/policy_factory.h"
 #include "sim/simulator.h"
+#include "tests/common/sim_test_util.h"
 
 namespace gaia {
 namespace {
@@ -28,7 +29,7 @@ run(const JobTrace &trace, const std::string &policy,
     ResourceStrategy strategy = ResourceStrategy::SpotFirst)
 {
     const PolicyPtr p = makePolicy(policy);
-    return simulate(trace, *p, queues, cis, cluster, strategy);
+    return testutil::runSim(trace, *p, queues, cis, cluster, strategy);
 }
 
 TEST(SimulatorSpot, ZeroEvictionRunsShortJobsOnSpot)

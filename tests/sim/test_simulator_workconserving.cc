@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "core/policy_factory.h"
 #include "sim/simulator.h"
+#include "tests/common/sim_test_util.h"
 
 namespace gaia {
 namespace {
@@ -38,7 +39,7 @@ runReservedFirst(const JobTrace &trace, int reserved,
     ClusterConfig cluster;
     cluster.reserved_cores = reserved;
     const PolicyPtr p = makePolicy(policy);
-    return simulate(trace, *p, queues, cis, cluster,
+    return testutil::runSim(trace, *p, queues, cis, cluster,
                     ResourceStrategy::ReservedFirst);
 }
 
@@ -152,7 +153,7 @@ TEST(WorkConserving, CarbonPolicyStillUsesCarbonStartWhenQueued)
     cluster.reserved_cores = 1;
     const PolicyPtr p = makePolicy("Lowest-Slot");
     const SimulationResult r =
-        simulate(trace, *p, queues, cis, cluster,
+        testutil::runSim(trace, *p, queues, cis, cluster,
                  ResourceStrategy::ReservedFirst);
     EXPECT_EQ(r.outcomes[1].start, hours(2));
     EXPECT_EQ(r.outcomes[1].segments[0].option,
